@@ -1,0 +1,24 @@
+//! `allocation` — physical placement of fact and bitmap fragments on disks.
+//!
+//! The second allocation step of the paper (§4.6): having chosen an MDHF
+//! fragmentation, assign the resulting fact fragments and bitmap fragments to
+//! the shared disks.
+//!
+//! * [`layout::PhysicalAllocation`] — round-robin placement of fact fragments
+//!   and **staggered round robin** for the associated bitmap fragments (the
+//!   bitmap fragments of fact fragment *i* on disk *j* go to disks
+//!   *j+1 … j+k*, enabling parallel bitmap I/O within a subquery), plus the
+//!   co-located variant used as the "non-parallel I/O" baseline of Figure 5
+//!   and a gap-modified scheme that avoids gcd clustering.
+//! * [`analysis`] — the §4.6 declustering analysis: how many distinct disks a
+//!   query's fragments land on, the gcd pitfall (480-stride access on 100
+//!   disks uses only 5 of them), and the prime-declustering recommendation.
+//! * [`capacity`] — per-disk storage accounting and balance metrics.
+
+pub mod analysis;
+pub mod capacity;
+pub mod layout;
+
+pub use analysis::{effective_parallelism, stride_parallelism, DeclusteringAnalysis};
+pub use capacity::{CapacityReport, DiskUsage};
+pub use layout::{BitmapPlacement, PhysicalAllocation};

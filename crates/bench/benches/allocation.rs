@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the physical allocation layer: fragment-to-disk
+//! mapping, declustering (gcd) analysis and per-disk capacity accounting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use warehouse::allocation::{effective_parallelism, CapacityReport, PhysicalAllocation};
+use warehouse::prelude::*;
+
+fn bench_disk_mapping(c: &mut Criterion) {
+    let allocation = PhysicalAllocation::round_robin(101);
+    c.bench_function("fact_disk_mapping_10k_fragments", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for f in 0..10_000u64 {
+                acc = acc.wrapping_add(allocation.fact_disk(f));
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+fn bench_parallelism_analysis(c: &mut Criterion) {
+    let allocation = PhysicalAllocation::round_robin(100);
+    let fragments: Vec<u64> = (0..24).map(|m| m * 480 + 17).collect();
+    c.bench_function("effective_parallelism_1code", |b| {
+        b.iter(|| std::hint::black_box(effective_parallelism(&allocation, &fragments)))
+    });
+}
+
+fn bench_capacity_report(c: &mut Criterion) {
+    let schema = schema::apb1::apb1_schema();
+    let fragmentation =
+        Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+    let allocation = PhysicalAllocation::round_robin(100);
+    c.bench_function("capacity_report_month_group_100_disks", |b| {
+        b.iter(|| {
+            std::hint::black_box(CapacityReport::compute(&schema, &fragmentation, &allocation, 32))
+        })
+    });
+}
+
+criterion_group!(benches, bench_disk_mapping, bench_parallelism_analysis, bench_capacity_report);
+criterion_main!(benches);

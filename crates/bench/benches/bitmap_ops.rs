@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of the bitmap substrate: Boolean operations,
+//! population counts, WAH compression and encoded-index selections over a
+//! materialised (scaled-down) fact table.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use warehouse::bitmap::{Bitmap, MaterialisedFactTable, MaterialisedIndex, WahBitmap};
+use warehouse::prelude::*;
+
+fn bench_bitmap_boolean_ops(c: &mut Criterion) {
+    let n = 1_000_000;
+    let a = Bitmap::from_positions(n, (0..n).filter(|i| i % 3 == 0));
+    let b = Bitmap::from_positions(n, (0..n).filter(|i| i % 7 == 0));
+    c.bench_function("bitmap_and_1m_bits", |bencher| {
+        bencher.iter(|| std::hint::black_box(a.and(&b)))
+    });
+    c.bench_function("bitmap_or_1m_bits", |bencher| {
+        bencher.iter(|| std::hint::black_box(a.or(&b)))
+    });
+    c.bench_function("bitmap_count_ones_1m_bits", |bencher| {
+        bencher.iter(|| std::hint::black_box(a.count_ones()))
+    });
+}
+
+fn bench_wah_compression(c: &mut Criterion) {
+    let n = 1_000_000;
+    // Sparse bitmap: the realistic shape of a bitmap-join-index bitmap.
+    let sparse = Bitmap::from_positions(n, (0..n).filter(|i| i % 1_440 == 0));
+    c.bench_function("wah_compress_sparse_1m_bits", |bencher| {
+        bencher.iter(|| std::hint::black_box(WahBitmap::compress(&sparse)))
+    });
+    let compressed = WahBitmap::compress(&sparse);
+    c.bench_function("wah_decompress_sparse_1m_bits", |bencher| {
+        bencher.iter(|| std::hint::black_box(compressed.decompress()))
+    });
+}
+
+fn bench_encoded_index_selection(c: &mut Criterion) {
+    let schema = schema::apb1::apb1_scaled_down();
+    let table = MaterialisedFactTable::generate(&schema, 7);
+    let catalog = IndexCatalog::default_for(&schema);
+    let product = schema.dimension_index("product").unwrap();
+    let index = MaterialisedIndex::build(&schema, &catalog, &table, product);
+    let group_level = schema.attr("product", "group").unwrap().level;
+    c.bench_function("encoded_index_select_group", |bencher| {
+        bencher.iter_batched(
+            || (),
+            |()| std::hint::black_box(index.select(group_level, 3)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_bitmap_boolean_ops,
+    bench_wah_compression,
+    bench_encoded_index_selection
+);
+criterion_main!(benches);

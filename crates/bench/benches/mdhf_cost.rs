@@ -1,0 +1,46 @@
+//! Criterion benchmarks of the MDHF analytics: query classification, the
+//! analytic cost model, fragmentation enumeration (Table 2) and the advisor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use warehouse::mdhf::{enumerate_fragmentations, table2_census};
+use warehouse::prelude::*;
+
+fn bench_classification_and_cost(c: &mut Criterion) {
+    let schema = schema::apb1::apb1_schema();
+    let catalog = IndexCatalog::default_for(&schema);
+    let model = CostModel::new(schema.clone(), catalog);
+    let fragmentation =
+        Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+    let query = QueryType::OneCodeOneQuarter.to_star_query(&schema);
+    c.bench_function("classify_query", |b| {
+        b.iter(|| std::hint::black_box(classify(&schema, &fragmentation, &query)))
+    });
+    c.bench_function("cost_model_evaluate", |b| {
+        b.iter(|| std::hint::black_box(model.evaluate(&fragmentation, &query)))
+    });
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let schema = schema::apb1::apb1_schema();
+    c.bench_function("enumerate_fragmentations_apb1", |b| {
+        b.iter(|| std::hint::black_box(enumerate_fragmentations(&schema)))
+    });
+    c.bench_function("table2_census_apb1", |b| {
+        b.iter(|| std::hint::black_box(table2_census(&schema)))
+    });
+}
+
+fn bench_advisor(c: &mut Criterion) {
+    let schema = schema::apb1::apb1_schema();
+    let advisor = Advisor::new(schema.clone(), AdvisorConfig::default());
+    let mix: Vec<(StarQuery, f64)> = QueryType::standard_mix()
+        .into_iter()
+        .map(|qt| (qt.to_star_query(&schema), 1.0))
+        .collect();
+    c.bench_function("advisor_recommend_standard_mix", |b| {
+        b.iter(|| std::hint::black_box(advisor.recommend(&mix, &[])))
+    });
+}
+
+criterion_group!(benches, bench_classification_and_cost, bench_enumeration, bench_advisor);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benchmarks of the SIMPAD simulator itself: planning and
+//! end-to-end execution of small experiment points (the figure binaries run
+//! the full-size sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use warehouse::prelude::*;
+use warehouse::simpad;
+
+fn small_config() -> SimConfig {
+    SimConfig {
+        disks: 20,
+        nodes: 4,
+        subqueries_per_node: 3,
+        ..SimConfig::default()
+    }
+}
+
+fn bench_query_planning(c: &mut Criterion) {
+    let schema = schema::apb1::apb1_schema();
+    let catalog = IndexCatalog::default_for(&schema);
+    let fragmentation =
+        Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+    let allocation = PhysicalAllocation::round_robin(20);
+    let config = small_config();
+    let bound = BoundQuery::new(
+        &schema,
+        QueryType::OneStore.to_star_query(&schema),
+        vec![815],
+    );
+    c.bench_function("plan_1store_11520_subqueries", |b| {
+        b.iter(|| {
+            std::hint::black_box(simpad::plan_query(
+                &schema,
+                &catalog,
+                &fragmentation,
+                &allocation,
+                &config,
+                &bound,
+            ))
+        })
+    });
+}
+
+fn bench_simulation_runs(c: &mut Criterion) {
+    let schema = schema::apb1::apb1_schema();
+    let fragmentation =
+        Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    group.bench_function("simulate_1month1group", |b| {
+        b.iter(|| {
+            let setup = ExperimentSetup::new(
+                schema.clone(),
+                fragmentation.clone(),
+                small_config(),
+                QueryType::OneMonthOneGroup,
+                1,
+            );
+            std::hint::black_box(run_experiment(&setup))
+        })
+    });
+    group.bench_function("simulate_1code1quarter", |b| {
+        b.iter(|| {
+            let setup = ExperimentSetup::new(
+                schema.clone(),
+                fragmentation.clone(),
+                small_config(),
+                QueryType::OneCodeOneQuarter,
+                1,
+            );
+            std::hint::black_box(run_experiment(&setup))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_planning, bench_simulation_runs);
+criterion_main!(benches);

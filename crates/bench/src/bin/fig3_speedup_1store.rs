@@ -1,0 +1,58 @@
+//! Figure 3 — response times and speed-up of the 1STORE query.
+//!
+//! Sweeps the Table 5 hardware grid (d = 20/60/100 disks, p = d/20 … d/2
+//! processors, t = d/p subqueries per node) under the fragmentation
+//! `F_MonthGroup` and reports average response time and the speed-up relative
+//! to the smallest configuration of the same processor ratio, exactly as in
+//! Figure 3.  1STORE is not supported by the fragmentation, touches all
+//! 11 520 fragments and is heavily disk-bound: response times scale with the
+//! number of disks.
+//!
+//! `--quick` restricts the sweep to the p = d/4 series.
+
+use bench_support::{f_month_group, paper_schema, quick_mode, run_point};
+use warehouse::prelude::*;
+
+fn main() {
+    let schema = paper_schema();
+    let fragmentation = f_month_group(&schema);
+    let queries = 1;
+    let divisors: &[u64] = if quick_mode() { &[4] } else { &[20, 10, 5, 4, 2] };
+
+    println!("Figure 3: 1STORE under F_MonthGroup (t = d/p), single-user");
+    println!();
+    bench_support::print_header(
+        &["p = d/x", "d", "p", "t", "response [s]", "speed-up vs d=20"],
+        &[8, 5, 5, 5, 13, 17],
+    );
+
+    for &divisor in divisors {
+        let mut baseline: Option<f64> = None;
+        for d in [20u64, 60, 100] {
+            let p = (d / divisor).max(1) as usize;
+            let config = SimConfig::for_speedup_point(d, p);
+            let summary = run_point(&schema, &fragmentation, config, QueryType::OneStore, queries);
+            let secs = summary.mean_response_secs();
+            let speedup = baseline.map_or(1.0, |b| b / secs);
+            if baseline.is_none() {
+                baseline = Some(secs);
+            }
+            bench_support::print_row(
+                &[
+                    format!("d/{divisor}"),
+                    d.to_string(),
+                    p.to_string(),
+                    config.subqueries_per_node.to_string(),
+                    format!("{secs:.1}"),
+                    format!("{speedup:.2}"),
+                ],
+                &[8, 5, 5, 5, 13, 17],
+            );
+        }
+    }
+    println!();
+    println!(
+        "Expected shape (paper): response time depends almost only on d; \
+         speed-up from 20 to 100 disks is (slightly super-) linear, i.e. >= ~5x."
+    );
+}

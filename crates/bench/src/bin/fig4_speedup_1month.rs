@@ -1,0 +1,80 @@
+//! Figure 4 — response times and speed-up of the 1MONTH query.
+//!
+//! 1MONTH is optimally supported by `F_MonthGroup` (480 fragments, no bitmap
+//! access) and CPU-bound: its response time depends on the number of
+//! processors, not disks.  The sweep varies p for d = 20/60/100 with t = 4
+//! and additionally shows the t = 5 fix for the d = 100, p = 50 batching
+//! artefact discussed in §6.1.
+//!
+//! `--quick` restricts the sweep to d = 100.
+
+use bench_support::{f_month_group, paper_schema, quick_mode, run_point};
+use warehouse::prelude::*;
+
+fn main() {
+    let schema = paper_schema();
+    let fragmentation = f_month_group(&schema);
+    let queries = 1;
+    let disk_counts: &[u64] = if quick_mode() { &[100] } else { &[20, 60, 100] };
+
+    println!("Figure 4: 1MONTH under F_MonthGroup (t = 4), single-user");
+    println!();
+    bench_support::print_header(
+        &["d", "p", "t", "response [s]", "speed-up vs p-min"],
+        &[5, 5, 4, 13, 18],
+    );
+
+    for &d in disk_counts {
+        let processors: Vec<usize> = [d / 20, d / 10, d / 5, d / 4, d / 2]
+            .iter()
+            .map(|&p| (p as usize).max(1))
+            .collect();
+        let mut baseline: Option<(usize, f64)> = None;
+        for &p in &processors {
+            let config = SimConfig {
+                subqueries_per_node: 4,
+                ..SimConfig::for_speedup_point(d, p)
+            };
+            let summary = run_point(&schema, &fragmentation, config, QueryType::OneMonth, queries);
+            let secs = summary.mean_response_secs();
+            let speedup = baseline.map_or(1.0, |(p0, b)| b / secs * p0 as f64);
+            if baseline.is_none() {
+                baseline = Some((p, secs));
+            }
+            bench_support::print_row(
+                &[
+                    d.to_string(),
+                    p.to_string(),
+                    "4".to_string(),
+                    format!("{secs:.1}"),
+                    format!("{speedup:.1}"),
+                ],
+                &[5, 5, 4, 13, 18],
+            );
+        }
+    }
+
+    // The §6.1 discretisation artefact: with p = 50 and t = 4 the 480
+    // subqueries run in batches of 200/200/80; t = 5 gives 250/230 and
+    // restores linear speed-up.
+    println!();
+    println!("d = 100, p = 50 batching artefact:");
+    for t in [4usize, 5] {
+        let config = SimConfig {
+            disks: 100,
+            nodes: 50,
+            subqueries_per_node: t,
+            ..SimConfig::default()
+        };
+        let summary = run_point(&schema, &fragmentation, config, QueryType::OneMonth, queries);
+        println!(
+            "  t = {t}: response {:.1} s",
+            summary.mean_response_secs()
+        );
+    }
+    println!();
+    println!(
+        "Expected shape (paper): response time depends on p, not d; near-linear \
+         speed-up in p; t = 5 is faster than t = 4 at p = 50."
+    );
+}

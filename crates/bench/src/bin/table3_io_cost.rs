@@ -1,0 +1,71 @@
+//! Table 3 — analytic I/O characteristics of query 1STORE.
+//!
+//! Evaluates the analytic cost model for query 1STORE under the optimal
+//! fragmentation `F_opt = {customer::store}` and the unsupporting
+//! fragmentation `F_nosupp = F_MonthGroup = {time::month, product::group}`,
+//! reporting fragments, fact I/O, bitmap I/O and total I/O volume as in
+//! Table 3.
+
+use bench_support::paper_schema;
+use warehouse::prelude::*;
+
+fn main() {
+    let schema = paper_schema();
+    let catalog = IndexCatalog::default_for(&schema);
+    let model = CostModel::new(schema.clone(), catalog);
+    let query = StarQuery::exact_match(&schema, "1STORE", &["customer::store"]);
+
+    let cases = [
+        ("F_opt = {customer::store}", vec!["customer::store"]),
+        (
+            "F_nosupp = {time::month, product::group}",
+            vec!["time::month", "product::group"],
+        ),
+    ];
+
+    println!("Table 3: I/O characteristics for query 1STORE (analytic cost model)");
+    println!("(paper: F_opt -> 1 fragment, 795 fact I/Os, no bitmap I/O, 25 MB;");
+    println!("        F_nosupp -> 11,520 fragments, 5,189,760 fact pages, 691,200 bitmap pages, 31,075 MB)");
+    println!();
+    bench_support::print_header(
+        &[
+            "fragmentation",
+            "#fragments",
+            "fact I/O ops",
+            "fact pages",
+            "bitmap pages",
+            "total MB",
+        ],
+        &[42, 11, 13, 13, 13, 11],
+    );
+    for (label, spec) in cases {
+        let fragmentation = Fragmentation::parse(&schema, &spec).expect("valid fragmentation");
+        let (classification, cost) = model.evaluate(&fragmentation, &query);
+        bench_support::print_row(
+            &[
+                label.to_string(),
+                cost.fragments_to_process.to_string(),
+                format!("{:.0}", cost.fact_io_ops),
+                format!("{:.0}", cost.fact_pages_read),
+                format!("{:.0}", cost.bitmap_pages_read),
+                format!("{:.0}", cost.total_megabytes(4_096)),
+            ],
+            &[42, 11, 13, 13, 13, 11],
+        );
+        println!(
+            "    query class: {:?}, I/O class: {:?}, bitmaps per fragment: {}",
+            classification.query_class, classification.io_class, cost.bitmaps_per_fragment
+        );
+    }
+
+    // Improvement factor — the paper's "several orders of magnitude".
+    let f_opt = Fragmentation::parse(&schema, &["customer::store"]).unwrap();
+    let f_nosupp = Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+    let (_, opt) = model.evaluate(&f_opt, &query);
+    let (_, nosupp) = model.evaluate(&f_nosupp, &query);
+    println!();
+    println!(
+        "Improvement of F_opt over F_nosupp: {:.0}x in total pages",
+        nosupp.total_pages() / opt.total_pages()
+    );
+}

@@ -1,0 +1,54 @@
+//! Table 6 — fragmentation parameters for experiment 3 (§6.3).
+//!
+//! For the three fragmentations `F_MonthGroup`, `F_MonthClass`, `F_MonthCode`
+//! prints the number of fragments and the bitmap-fragment size in pages
+//! (with the prefetch-rounded value in parentheses, as in the paper), plus
+//! the admissibility verdict of the §4.4 thresholds.
+
+use bench_support::{paper_schema, EXPERIMENT3_FRAGMENTATIONS};
+use warehouse::mdhf::{check_fragmentation, FragmentationConstraints};
+use warehouse::prelude::*;
+use warehouse::schema::PageSizing;
+
+fn main() {
+    let schema = paper_schema();
+    let sizing = PageSizing::new(&schema);
+    let catalog = IndexCatalog::default_for(&schema);
+    let constraints = FragmentationConstraints::default();
+
+    println!("Table 6: Fragmentation parameters for experiment 3");
+    println!("(paper: 11,520 / 23,040 / 345,600 fragments; 4.9 (5) / 2.5 (3) / 0.16 (1) pages)");
+    println!();
+    bench_support::print_header(
+        &[
+            "fragmentation",
+            "#fragments",
+            "bitmap frag [pages]",
+            "bitmaps kept",
+            "admissible",
+        ],
+        &[14, 12, 20, 13, 11],
+    );
+    for (name, product_level) in EXPERIMENT3_FRAGMENTATIONS {
+        let f = bench_support::month_product_fragmentation(&schema, product_level);
+        let pages = sizing.bitmap_fragment_pages(f.fragment_count());
+        let whole = (pages.ceil() as u64).max(1);
+        let report = check_fragmentation(&schema, &catalog, &constraints, &f);
+        bench_support::print_row(
+            &[
+                name.to_string(),
+                f.fragment_count().to_string(),
+                format!("{pages:.2} ({whole})"),
+                report.bitmaps_required.to_string(),
+                if report.is_admissible() { "yes".into() } else { "NO".into() },
+            ],
+            &[14, 12, 20, 13, 11],
+        );
+    }
+
+    println!();
+    println!(
+        "n_max threshold (PrefetchGran = 4, 4 KB pages): {} fragments",
+        constraints.n_max(&sizing)
+    );
+}

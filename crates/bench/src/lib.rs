@@ -1,0 +1,110 @@
+//! Shared helpers for the experiment binaries that regenerate the paper's
+//! tables and figures.
+//!
+//! Every binary in `src/bin/` prints the same rows/series the paper reports,
+//! using these helpers to build the APB-1 schema, the fragmentations under
+//! test and the simulator setups.
+
+use warehouse::prelude::*;
+use warehouse::simpad;
+
+/// The three fragmentations compared in §6.3 / Table 6 / Figure 6.
+pub const EXPERIMENT3_FRAGMENTATIONS: [(&str, &str); 3] = [
+    ("F_MonthGroup", "product::group"),
+    ("F_MonthClass", "product::class"),
+    ("F_MonthCode", "product::code"),
+];
+
+/// Builds the full-size APB-1 schema used by all experiments.
+#[must_use]
+pub fn paper_schema() -> StarSchema {
+    schema::apb1::apb1_schema()
+}
+
+/// Builds a two-dimensional fragmentation on `time::month` and the given
+/// product hierarchy level (`"product::group"` etc.).
+#[must_use]
+pub fn month_product_fragmentation(schema: &StarSchema, product_level: &str) -> Fragmentation {
+    Fragmentation::parse(schema, &["time::month", product_level])
+        .expect("valid fragmentation attributes")
+}
+
+/// The paper's standard fragmentation `F_MonthGroup`.
+#[must_use]
+pub fn f_month_group(schema: &StarSchema) -> Fragmentation {
+    month_product_fragmentation(schema, "product::group")
+}
+
+/// Runs one simulator point and returns its summary.
+#[must_use]
+pub fn run_point(
+    schema: &StarSchema,
+    fragmentation: &Fragmentation,
+    config: SimConfig,
+    query_type: QueryType,
+    queries: usize,
+) -> simpad::RunSummary {
+    let setup = ExperimentSetup::new(
+        schema.clone(),
+        fragmentation.clone(),
+        config,
+        query_type,
+        queries,
+    );
+    run_experiment(&setup)
+}
+
+/// True when the binary was invoked with `--quick` (reduced parameter
+/// sweeps for smoke-testing) — the full sweeps are the default.
+#[must_use]
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Prints a Markdown-ish table row with fixed column widths.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let rendered: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("| {} |", rendered.join(" | "));
+}
+
+/// Prints a table header followed by a separator line.
+pub fn print_header(cells: &[&str], widths: &[usize]) {
+    print_row(&cells.iter().map(|c| (*c).to_string()).collect::<Vec<_>>(), widths);
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", sep.join("-|-"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build_the_expected_objects() {
+        let s = paper_schema();
+        assert_eq!(f_month_group(&s).fragment_count(), 11_520);
+        assert_eq!(
+            month_product_fragmentation(&s, "product::code").fragment_count(),
+            345_600
+        );
+        assert_eq!(EXPERIMENT3_FRAGMENTATIONS.len(), 3);
+    }
+
+    #[test]
+    fn run_point_produces_a_summary() {
+        let s = paper_schema();
+        let f = f_month_group(&s);
+        let config = SimConfig {
+            disks: 10,
+            nodes: 2,
+            subqueries_per_node: 2,
+            ..SimConfig::default()
+        };
+        let summary = run_point(&s, &f, config, QueryType::OneMonthOneGroup, 1);
+        assert_eq!(summary.queries.len(), 1);
+        assert!(summary.mean_response_ms > 0.0);
+    }
+}

@@ -1,0 +1,366 @@
+//! Uncompressed bitmaps.
+//!
+//! One bit per fact row.  The operations mirror what star-join processing
+//! needs: AND (intersect selections), OR (multiple values of one attribute),
+//! NOT, population count and iteration over matching row numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-length, uncompressed bitmap (one bit per fact row).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitmap {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl Bitmap {
+    /// Creates an all-zero bitmap covering `len` rows.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        Bitmap {
+            len,
+            words: vec![0u64; len.div_ceil(64)],
+        }
+    }
+
+    /// Creates an all-one bitmap covering `len` rows.
+    #[must_use]
+    pub fn ones(len: usize) -> Self {
+        let mut b = Bitmap {
+            len,
+            words: vec![!0u64; len.div_ceil(64)],
+        };
+        b.clear_tail();
+        b
+    }
+
+    /// Builds a bitmap from an iterator of set-bit positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any position is out of range.
+    #[must_use]
+    pub fn from_positions(len: usize, positions: impl IntoIterator<Item = usize>) -> Self {
+        let mut b = Bitmap::new(len);
+        for p in positions {
+            b.set(p, true);
+        }
+        b
+    }
+
+    fn clear_tail(&mut self) {
+        let tail_bits = self.len % 64;
+        if tail_bits != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail_bits) - 1;
+            }
+        }
+    }
+
+    /// Number of rows covered by the bitmap.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap covers zero rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range ({})", self.len);
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Sets bit `idx` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn set(&mut self, idx: usize, value: bool) {
+        assert!(idx < self.len, "bit index {idx} out of range ({})", self.len);
+        let mask = 1u64 << (idx % 64);
+        if value {
+            self.words[idx / 64] |= mask;
+        } else {
+            self.words[idx / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bit is set.
+    #[must_use]
+    pub fn is_all_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// True if every bit is set.
+    #[must_use]
+    pub fn is_all_one(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// Bitwise AND with another bitmap of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        Bitmap {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// In-place bitwise AND.
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Bitwise OR with another bitmap of the same length.
+    #[must_use]
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        Bitmap {
+            len: self.len,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
+
+    /// In-place bitwise OR.
+    pub fn or_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Bitwise complement (within the bitmap's length).
+    #[must_use]
+    pub fn not(&self) -> Bitmap {
+        let mut out = Bitmap {
+            len: self.len,
+            words: self.words.iter().map(|w| !w).collect(),
+        };
+        out.clear_tail();
+        out
+    }
+
+    /// Iterates over the positions of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// Extracts the sub-bitmap for rows `range` (used for fragment-aligned
+    /// bitmap fragments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the bitmap length.
+    #[must_use]
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bitmap {
+        assert!(range.end <= self.len, "slice out of range");
+        let mut out = Bitmap::new(range.len());
+        for (i, idx) in range.enumerate() {
+            if self.get(idx) {
+                out.set(i, true);
+            }
+        }
+        out
+    }
+
+    /// Size of the uncompressed representation in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Access to the underlying words (for compression).
+    #[must_use]
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = Bitmap::new(130);
+        assert_eq!(b.len(), 130);
+        assert!(!b.is_empty());
+        assert!(b.is_all_zero());
+        b.set(0, true);
+        b.set(64, true);
+        b.set(129, true);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1));
+        assert_eq!(b.count_ones(), 3);
+        b.set(64, false);
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn ones_and_not_respect_length() {
+        let b = Bitmap::ones(70);
+        assert_eq!(b.count_ones(), 70);
+        assert!(b.is_all_one());
+        let z = b.not();
+        assert!(z.is_all_zero());
+        assert_eq!(z.not().count_ones(), 70);
+    }
+
+    #[test]
+    fn boolean_operations() {
+        let a = Bitmap::from_positions(10, [1, 3, 5, 7]);
+        let b = Bitmap::from_positions(10, [3, 4, 5, 6]);
+        assert_eq!(a.and(&b).iter_ones().collect::<Vec<_>>(), vec![3, 5]);
+        assert_eq!(
+            a.or(&b).iter_ones().collect::<Vec<_>>(),
+            vec![1, 3, 4, 5, 6, 7]
+        );
+        let mut c = a.clone();
+        c.and_assign(&b);
+        assert_eq!(c, a.and(&b));
+        let mut d = a.clone();
+        d.or_assign(&b);
+        assert_eq!(d, a.or(&b));
+    }
+
+    #[test]
+    fn iter_ones_in_order() {
+        let positions = vec![0, 63, 64, 65, 127, 128, 199];
+        let b = Bitmap::from_positions(200, positions.clone());
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), positions);
+    }
+
+    #[test]
+    fn slicing() {
+        let b = Bitmap::from_positions(100, [10, 20, 30, 40]);
+        let s = b.slice(15..35);
+        assert_eq!(s.len(), 20);
+        assert_eq!(s.iter_ones().collect::<Vec<_>>(), vec![5, 15]);
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let b = Bitmap::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert!(b.is_all_zero());
+        assert!(b.is_all_one()); // vacuously true
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn size_bytes() {
+        assert_eq!(Bitmap::new(64).size_bytes(), 8);
+        assert_eq!(Bitmap::new(65).size_bytes(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        let _ = Bitmap::new(10).get(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn and_length_mismatch_panics() {
+        let _ = Bitmap::new(10).and(&Bitmap::new(11));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_bitmap(len: usize) -> impl Strategy<Value = Bitmap> {
+        proptest::collection::vec(proptest::bool::ANY, len)
+            .prop_map(move |bits| {
+                let mut b = Bitmap::new(len);
+                for (i, bit) in bits.into_iter().enumerate() {
+                    b.set(i, bit);
+                }
+                b
+            })
+    }
+
+    proptest! {
+        /// De Morgan: !(a & b) == !a | !b, restricted to the bitmap length.
+        #[test]
+        fn prop_de_morgan(a in arb_bitmap(200), b in arb_bitmap(200)) {
+            prop_assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        }
+
+        /// AND is an intersection of set-bit positions; OR a union.
+        #[test]
+        fn prop_and_or_set_semantics(a in arb_bitmap(150), b in arb_bitmap(150)) {
+            use std::collections::BTreeSet;
+            let sa: BTreeSet<_> = a.iter_ones().collect();
+            let sb: BTreeSet<_> = b.iter_ones().collect();
+            let and: BTreeSet<_> = a.and(&b).iter_ones().collect();
+            let or: BTreeSet<_> = a.or(&b).iter_ones().collect();
+            prop_assert_eq!(and, sa.intersection(&sb).copied().collect::<BTreeSet<_>>());
+            prop_assert_eq!(or, sa.union(&sb).copied().collect::<BTreeSet<_>>());
+        }
+
+        /// count_ones matches iter_ones length; complement counts are exact.
+        #[test]
+        fn prop_counts(a in arb_bitmap(173)) {
+            prop_assert_eq!(a.count_ones(), a.iter_ones().count());
+            prop_assert_eq!(a.count_ones() + a.not().count_ones(), 173);
+        }
+
+        /// Slicing then counting equals counting within the range.
+        #[test]
+        fn prop_slice_counts(a in arb_bitmap(256), start in 0usize..256, len in 0usize..256) {
+            let end = (start + len).min(256);
+            let slice = a.slice(start..end);
+            let expected = a.iter_ones().filter(|&p| p >= start && p < end).count();
+            prop_assert_eq!(slice.count_ones(), expected);
+        }
+    }
+}

@@ -1,0 +1,470 @@
+//! Materialised fact tables and bitmap join indices (scaled-down scale).
+//!
+//! The full APB-1 fact table (1.87 billion rows) is never materialised — the
+//! paper's simulator and our cost model work on cardinalities alone.  To make
+//! sure the *logical* model (how many bitmaps, which rows match) is actually
+//! correct, this module can generate a scaled-down fact table and build real
+//! bitmap join indices over it.  Examples and integration tests compare
+//! bitmap-driven star-join results against a brute-force scan.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use schema::StarSchema;
+
+use crate::bitvec::Bitmap;
+use crate::encoding::HierarchicalEncoding;
+use crate::index::{BitmapIndexKind, BitmapIndexSpec, IndexCatalog};
+
+/// One materialised fact row: the leaf-level foreign key per dimension plus
+/// the measure values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FactRow {
+    /// Leaf key per dimension, in schema dimension order.
+    pub keys: Vec<u64>,
+    /// Measure values, in schema measure order.
+    pub measures: Vec<f64>,
+}
+
+/// A small, fully materialised fact table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MaterialisedFactTable {
+    rows: Vec<FactRow>,
+    dimension_cardinalities: Vec<u64>,
+}
+
+impl MaterialisedFactTable {
+    /// Generates a fact table for `schema` deterministically from `seed`.
+    ///
+    /// Every possible combination of dimension leaf values is included with
+    /// probability equal to the schema's density factor, using a splitmix-
+    /// style hash of the combination index and the seed, so the same seed
+    /// always produces the same table.  Measure values are derived from the
+    /// same hash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schema's dimension cross product exceeds 50 million
+    /// combinations — this generator is for scaled-down schemas only.
+    #[must_use]
+    pub fn generate(schema: &StarSchema, seed: u64) -> Self {
+        let combos = schema.max_fact_combinations();
+        assert!(
+            combos <= 50_000_000,
+            "refusing to materialise {combos} combinations; use a scaled-down schema"
+        );
+        let cards: Vec<u64> = schema.dimensions().iter().map(|d| d.cardinality()).collect();
+        let density = schema.fact().density();
+        let measures = schema.fact().measures().len().max(1);
+        let mut rows = Vec::new();
+        for combo in 0..combos {
+            let h = mix(seed, combo);
+            // Map the hash to [0, 1) and keep the combination with
+            // probability `density`.
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+            if u < density {
+                let keys = unrank(combo, &cards);
+                let measure_values = (0..measures)
+                    .map(|m| f64::from((mix(h, m as u64) % 1_000) as u32) + 1.0)
+                    .collect();
+                rows.push(FactRow {
+                    keys,
+                    measures: measure_values,
+                });
+            }
+        }
+        MaterialisedFactTable {
+            rows,
+            dimension_cardinalities: cards,
+        }
+    }
+
+    /// The materialised rows.
+    #[must_use]
+    pub fn rows(&self) -> &[FactRow] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows were generated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Leaf cardinality per dimension, in schema order.
+    #[must_use]
+    pub fn dimension_cardinalities(&self) -> &[u64] {
+        &self.dimension_cardinalities
+    }
+
+    /// Brute-force evaluation of a conjunction of leaf-range predicates:
+    /// `predicates[d] = Some(range)` restricts dimension `d`'s leaf key to
+    /// `range`.  Returns matching row indices — the ground truth the bitmap
+    /// indices are validated against.
+    #[must_use]
+    pub fn scan(&self, predicates: &[Option<std::ops::Range<u64>>]) -> Vec<usize> {
+        assert_eq!(predicates.len(), self.dimension_cardinalities.len());
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| {
+                predicates
+                    .iter()
+                    .zip(&row.keys)
+                    .all(|(p, k)| p.as_ref().is_none_or(|r| r.contains(k)))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Splitmix64-style mixing of `(seed, value)`.
+fn mix(seed: u64, value: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(value)
+        .wrapping_add(0x2545_F491_4F6C_DD1D);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Converts a combination index into per-dimension leaf keys
+/// (mixed-radix decomposition, last dimension varying fastest).
+fn unrank(mut combo: u64, cards: &[u64]) -> Vec<u64> {
+    let mut keys = vec![0u64; cards.len()];
+    for (i, &c) in cards.iter().enumerate().rev() {
+        keys[i] = combo % c;
+        combo /= c;
+    }
+    keys
+}
+
+/// A materialised bitmap join index for one dimension of a
+/// [`MaterialisedFactTable`].
+#[derive(Debug, Clone)]
+pub struct MaterialisedIndex {
+    dimension: usize,
+    spec: BitmapIndexSpec,
+    /// For encoded indices: one bitmap per encoding bit (most significant /
+    /// coarsest first).  For simple indices: bitmaps keyed by (level, value).
+    encoded_bitmaps: Vec<Bitmap>,
+    simple_bitmaps: HashMap<(usize, u64), Bitmap>,
+    encoding: Option<HierarchicalEncoding>,
+    schema: StarSchema,
+}
+
+impl MaterialisedIndex {
+    /// Builds the bitmap join index for dimension `dimension` of `table`,
+    /// using the index kind given by `catalog`.
+    #[must_use]
+    pub fn build(
+        schema: &StarSchema,
+        catalog: &IndexCatalog,
+        table: &MaterialisedFactTable,
+        dimension: usize,
+    ) -> Self {
+        let spec = catalog.spec(dimension).clone();
+        let n = table.len();
+        let hierarchy = schema.dimensions()[dimension].hierarchy().clone();
+
+        let mut encoded_bitmaps = Vec::new();
+        let mut simple_bitmaps: HashMap<(usize, u64), Bitmap> = HashMap::new();
+        let mut encoding = None;
+
+        match spec.kind() {
+            BitmapIndexKind::Encoded(enc) => {
+                let total = enc.total_bits() as usize;
+                encoded_bitmaps = vec![Bitmap::new(n); total];
+                for (row_idx, row) in table.rows().iter().enumerate() {
+                    let pattern = enc.encode_leaf(row.keys[dimension]);
+                    for bit in 0..total {
+                        let shift = total - 1 - bit;
+                        if (pattern >> shift) & 1 == 1 {
+                            encoded_bitmaps[bit].set(row_idx, true);
+                        }
+                    }
+                }
+                encoding = Some(enc.clone());
+            }
+            BitmapIndexKind::Simple => {
+                for level in 0..hierarchy.depth() {
+                    for value in 0..hierarchy.cardinality(level) {
+                        simple_bitmaps.insert((level, value), Bitmap::new(n));
+                    }
+                }
+                for (row_idx, row) in table.rows().iter().enumerate() {
+                    let leaf = row.keys[dimension];
+                    for level in 0..hierarchy.depth() {
+                        let value = hierarchy.ancestor_of_leaf(leaf, level);
+                        simple_bitmaps
+                            .get_mut(&(level, value))
+                            .expect("bitmap pre-created")
+                            .set(row_idx, true);
+                    }
+                }
+            }
+        }
+
+        MaterialisedIndex {
+            dimension,
+            spec,
+            encoded_bitmaps,
+            simple_bitmaps,
+            encoding,
+            schema: schema.clone(),
+        }
+    }
+
+    /// The dimension this index covers.
+    #[must_use]
+    pub fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    /// The logical spec this index was built from.
+    #[must_use]
+    pub fn spec(&self) -> &BitmapIndexSpec {
+        &self.spec
+    }
+
+    /// Number of physical bitmaps actually materialised.
+    #[must_use]
+    pub fn materialised_bitmap_count(&self) -> usize {
+        if self.encoded_bitmaps.is_empty() {
+            self.simple_bitmaps.len()
+        } else {
+            self.encoded_bitmaps.len()
+        }
+    }
+
+    /// Returns the bitmap of fact rows matching `value` at hierarchy `level`
+    /// (0 = coarsest), evaluating prefix bitmaps for encoded indices.
+    #[must_use]
+    pub fn select(&self, level: usize, value: u64) -> Bitmap {
+        match self.spec.kind() {
+            BitmapIndexKind::Simple => self
+                .simple_bitmaps
+                .get(&(level, value))
+                .cloned()
+                .unwrap_or_else(|| {
+                    panic!("no bitmap for level {level} value {value}")
+                }),
+            BitmapIndexKind::Encoded(_) => {
+                let enc = self.encoding.as_ref().expect("encoded index has encoding");
+                let n = self
+                    .encoded_bitmaps
+                    .first()
+                    .map_or(0, super::bitvec::Bitmap::len);
+                let mut result = Bitmap::ones(n);
+                for (bit, must_be_one) in enc.match_pattern(level, value) {
+                    let bm = &self.encoded_bitmaps[bit as usize];
+                    if must_be_one {
+                        result.and_assign(bm);
+                    } else {
+                        result.and_assign(&bm.not());
+                    }
+                }
+                result
+            }
+        }
+    }
+
+    /// Number of bitmaps that a selection on `level` has to read — must equal
+    /// [`BitmapIndexSpec::bitmaps_for_selection`].
+    #[must_use]
+    pub fn bitmaps_read_for_selection(&self, level: usize) -> u64 {
+        self.spec.bitmaps_for_selection(level)
+    }
+
+    /// The schema the index was built against.
+    #[must_use]
+    pub fn schema(&self) -> &StarSchema {
+        &self.schema
+    }
+}
+
+/// Evaluates a star query over a materialised table using bitmap indices:
+/// intersects the selection bitmaps of all `(dimension, level, value)`
+/// predicates and sums the requested measure over the matching rows.
+///
+/// Returns `(hit_count, measure_sum)`.
+#[must_use]
+pub fn evaluate_star_query(
+    table: &MaterialisedFactTable,
+    indices: &[MaterialisedIndex],
+    predicates: &[(usize, usize, u64)],
+    measure: usize,
+) -> (usize, f64) {
+    let n = table.len();
+    let mut result = Bitmap::ones(n);
+    for &(dim, level, value) in predicates {
+        let index = indices
+            .iter()
+            .find(|i| i.dimension() == dim)
+            .expect("index exists for predicate dimension");
+        result.and_assign(&index.select(level, value));
+    }
+    let mut sum = 0.0;
+    let mut hits = 0usize;
+    for row_idx in result.iter_ones() {
+        hits += 1;
+        sum += table.rows()[row_idx].measures[measure];
+    }
+    (hits, sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema::apb1::apb1_scaled_down;
+
+    fn setup() -> (StarSchema, MaterialisedFactTable, IndexCatalog, Vec<MaterialisedIndex>) {
+        let schema = apb1_scaled_down();
+        let table = MaterialisedFactTable::generate(&schema, 42);
+        let catalog = IndexCatalog::default_for(&schema);
+        let indices = (0..schema.dimension_count())
+            .map(|d| MaterialisedIndex::build(&schema, &catalog, &table, d))
+            .collect();
+        (schema, table, catalog, indices)
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_respects_density() {
+        let schema = apb1_scaled_down();
+        let t1 = MaterialisedFactTable::generate(&schema, 7);
+        let t2 = MaterialisedFactTable::generate(&schema, 7);
+        assert_eq!(t1, t2);
+        let t3 = MaterialisedFactTable::generate(&schema, 8);
+        assert_ne!(t1, t3);
+
+        let combos = schema.max_fact_combinations() as f64;
+        let expected = combos * schema.fact().density();
+        let actual = t1.len() as f64;
+        // Within 15 % of the expected density (binomial fluctuation).
+        assert!(
+            (actual - expected).abs() / expected < 0.15,
+            "expected ~{expected}, got {actual}"
+        );
+        assert!(!t1.is_empty());
+        assert_eq!(t1.dimension_cardinalities().len(), 4);
+    }
+
+    #[test]
+    fn keys_are_within_cardinalities() {
+        let (schema, table, _, _) = setup();
+        for row in table.rows() {
+            assert_eq!(row.keys.len(), schema.dimension_count());
+            for (d, &k) in row.keys.iter().enumerate() {
+                assert!(k < schema.dimensions()[d].cardinality());
+            }
+            assert_eq!(row.measures.len(), 3);
+            assert!(row.measures.iter().all(|&m| m >= 1.0));
+        }
+    }
+
+    #[test]
+    fn bitmap_selection_matches_scan_at_leaf_level() {
+        let (schema, table, _, indices) = setup();
+        let product = schema.dimension_index("product").unwrap();
+        let hierarchy = schema.dimensions()[product].hierarchy();
+        let leaf_level = hierarchy.finest_level();
+        for value in [0u64, 7, 59, 119] {
+            let bitmap_rows: Vec<usize> =
+                indices[product].select(leaf_level, value).iter_ones().collect();
+            let mut preds = vec![None, None, None, None];
+            preds[product] = Some(value..value + 1);
+            let scan_rows = table.scan(&preds);
+            assert_eq!(bitmap_rows, scan_rows, "value {value}");
+        }
+    }
+
+    #[test]
+    fn bitmap_selection_matches_scan_at_inner_levels() {
+        let (schema, table, _, indices) = setup();
+        for (dim_name, level_name) in [
+            ("product", "group"),
+            ("product", "division"),
+            ("customer", "retailer"),
+            ("time", "quarter"),
+            ("time", "year"),
+            ("channel", "channel"),
+        ] {
+            let dim = schema.dimension_index(dim_name).unwrap();
+            let attr = schema.attr(dim_name, level_name).unwrap();
+            let hierarchy = schema.dimensions()[dim].hierarchy();
+            let card = hierarchy.cardinality(attr.level);
+            for value in 0..card.min(4) {
+                let bitmap_rows: Vec<usize> =
+                    indices[dim].select(attr.level, value).iter_ones().collect();
+                let range = hierarchy.leaf_range_of(attr.level, value);
+                let mut preds = vec![None, None, None, None];
+                preds[dim] = Some(range);
+                let scan_rows = table.scan(&preds);
+                assert_eq!(bitmap_rows, scan_rows, "{dim_name}::{level_name}={value}");
+            }
+        }
+    }
+
+    #[test]
+    fn star_query_matches_brute_force() {
+        let (schema, table, _, indices) = setup();
+        let product = schema.dimension_index("product").unwrap();
+        let time = schema.dimension_index("time").unwrap();
+        let group = schema.attr("product", "group").unwrap();
+        let month = schema.attr("time", "month").unwrap();
+
+        // 1MONTH1GROUP-style query on the scaled schema.
+        let (hits, sum) = evaluate_star_query(
+            &table,
+            &indices,
+            &[(product, group.level, 1), (time, month.level, 3)],
+            0,
+        );
+        let p_hier = schema.dimensions()[product].hierarchy();
+        let mut preds = vec![None, None, None, None];
+        preds[product] = Some(p_hier.leaf_range_of(group.level, 1));
+        preds[time] = Some(3..4);
+        let expected = table.scan(&preds);
+        assert_eq!(hits, expected.len());
+        let expected_sum: f64 = expected.iter().map(|&i| table.rows()[i].measures[0]).sum();
+        assert!((sum - expected_sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn materialised_counts_match_logical_spec() {
+        let (schema, _, catalog, indices) = setup();
+        for idx in &indices {
+            assert_eq!(
+                idx.materialised_bitmap_count() as u64,
+                catalog.spec(idx.dimension()).bitmap_count()
+            );
+            let finest = schema.dimensions()[idx.dimension()].hierarchy().finest_level();
+            assert_eq!(
+                idx.bitmaps_read_for_selection(finest),
+                catalog.spec(idx.dimension()).bitmaps_for_selection(finest)
+            );
+        }
+    }
+
+    #[test]
+    fn unrank_is_mixed_radix() {
+        assert_eq!(unrank(0, &[3, 4, 5]), vec![0, 0, 0]);
+        assert_eq!(unrank(59, &[3, 4, 5]), vec![2, 3, 4]);
+        assert_eq!(unrank(5, &[3, 4, 5]), vec![0, 1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to materialise")]
+    fn full_size_schema_rejected() {
+        let schema = schema::apb1::apb1_schema();
+        let _ = MaterialisedFactTable::generate(&schema, 1);
+    }
+}

@@ -1,0 +1,322 @@
+//! Hierarchical encoding of encoded bitmap join indices (Table 1).
+//!
+//! An encoded bitmap index represents attribute values from a domain of size
+//! `|Dom|` in roughly `log2 |Dom|` bitmaps.  The paper uses a *hierarchical*
+//! encoding: the bit pattern of a leaf value (e.g. a product code) is the
+//! concatenation of sub-patterns, one per hierarchy level, where each
+//! sub-pattern encodes the element's ordinal *within its parent*:
+//!
+//! ```text
+//! PRODUCT:  ddd ll fff gg c oooo   (3+2+3+2+1+4 = 15 bits)
+//! ```
+//!
+//! All codes of the same GROUP share the 10-bit prefix `dddllfffgg`, so a
+//! selection on GROUP needs to match only the first 10 bitmaps instead of all
+//! 15 — the prefix property exploited by MDHF.
+
+use serde::{Deserialize, Serialize};
+
+use schema::Hierarchy;
+
+/// The bit layout of a hierarchically encoded bitmap index for one dimension.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchicalEncoding {
+    /// Bits allocated to each level, coarsest level first.
+    bits_per_level: Vec<u32>,
+    /// Fan-out of each level (elements within parent), coarsest first.
+    fanouts: Vec<u64>,
+}
+
+impl HierarchicalEncoding {
+    /// Derives the encoding from a dimension hierarchy: each level gets
+    /// `ceil(log2(fanout))` bits (minimum 0 bits for fan-out 1).
+    #[must_use]
+    pub fn for_hierarchy(hierarchy: &Hierarchy) -> Self {
+        let fanouts: Vec<u64> = hierarchy.levels().iter().map(|l| l.fanout()).collect();
+        let bits_per_level = fanouts.iter().map(|&f| bits_for(f)).collect();
+        HierarchicalEncoding {
+            bits_per_level,
+            fanouts,
+        }
+    }
+
+    /// Bits allocated to each level, coarsest first.
+    #[must_use]
+    pub fn bits_per_level(&self) -> &[u32] {
+        &self.bits_per_level
+    }
+
+    /// Total number of bits — the number of bitmaps in the encoded index.
+    #[must_use]
+    pub fn total_bits(&self) -> u32 {
+        self.bits_per_level.iter().sum()
+    }
+
+    /// Number of hierarchy levels.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.bits_per_level.len()
+    }
+
+    /// Number of *prefix* bits required to identify an element at `level`
+    /// (level 0 = coarsest): the sum of the bits of levels `0..=level`.
+    ///
+    /// A selection on that level must evaluate exactly this many bitmaps.
+    #[must_use]
+    pub fn prefix_bits(&self, level: usize) -> u32 {
+        assert!(level < self.levels(), "level out of range");
+        self.bits_per_level[..=level].iter().sum()
+    }
+
+    /// Encodes a leaf element (numbered `0..leaf_cardinality`, grouped by the
+    /// hierarchy as in [`Hierarchy::ancestor_of_leaf`]) into its bit pattern.
+    ///
+    /// The pattern is returned with the coarsest level's sub-pattern in the
+    /// most significant bits, matching the `dddllfffggcoooo` layout.
+    #[must_use]
+    pub fn encode_leaf(&self, leaf: u64) -> u64 {
+        let mut remaining = leaf;
+        // Ordinals within parent, finest level first.
+        let mut ordinals = vec![0u64; self.levels()];
+        for (i, &fanout) in self.fanouts.iter().enumerate().rev() {
+            ordinals[i] = remaining % fanout;
+            remaining /= fanout;
+        }
+        assert_eq!(remaining, 0, "leaf id out of range for this hierarchy");
+        let mut pattern = 0u64;
+        for (i, &ord) in ordinals.iter().enumerate() {
+            pattern = (pattern << self.bits_per_level[i]) | ord;
+        }
+        pattern
+    }
+
+    /// Decodes a bit pattern produced by [`Self::encode_leaf`] back into the
+    /// leaf element number.  Patterns containing unused code points (possible
+    /// because `ceil(log2)` rounds up) return `None`.
+    #[must_use]
+    pub fn decode_leaf(&self, pattern: u64) -> Option<u64> {
+        let mut ordinals = vec![0u64; self.levels()];
+        let mut p = pattern;
+        for i in (0..self.levels()).rev() {
+            let bits = self.bits_per_level[i];
+            let mask = if bits == 0 { 0 } else { (1u64 << bits) - 1 };
+            let ord = p & mask;
+            if ord >= self.fanouts[i] {
+                return None;
+            }
+            ordinals[i] = ord;
+            p >>= bits;
+        }
+        if p != 0 {
+            return None;
+        }
+        let mut leaf = 0u64;
+        for (i, &ord) in ordinals.iter().enumerate() {
+            leaf = leaf * self.fanouts[i] + ord;
+        }
+        Some(leaf)
+    }
+
+    /// The `(prefix pattern, prefix bit count)` identifying element `value` of
+    /// `level`: all leaves below that element share this prefix in their most
+    /// significant `prefix_bits(level)` bits.
+    #[must_use]
+    pub fn encode_prefix(&self, level: usize, value: u64) -> (u64, u32) {
+        assert!(level < self.levels(), "level out of range");
+        let mut remaining = value;
+        let mut ordinals = vec![0u64; level + 1];
+        for i in (0..=level).rev() {
+            ordinals[i] = remaining % self.fanouts[i];
+            remaining /= self.fanouts[i];
+        }
+        assert_eq!(remaining, 0, "value out of range for level {level}");
+        let mut pattern = 0u64;
+        for (i, &ord) in ordinals.iter().enumerate() {
+            pattern = (pattern << self.bits_per_level[i]) | ord;
+        }
+        (pattern, self.prefix_bits(level))
+    }
+
+    /// Returns, for a selection of `value` at `level`, which bitmaps (by bit
+    /// index, 0 = most significant / coarsest) must be read and whether each
+    /// must be 1 (`true`) or 0 (`false`).
+    #[must_use]
+    pub fn match_pattern(&self, level: usize, value: u64) -> Vec<(u32, bool)> {
+        let (pattern, bits) = self.encode_prefix(level, value);
+        (0..bits)
+            .map(|i| {
+                let shift = bits - 1 - i;
+                (i, (pattern >> shift) & 1 == 1)
+            })
+            .collect()
+    }
+}
+
+/// Bits needed to encode `fanout` distinct values (`ceil(log2(fanout))`),
+/// with fan-out 1 needing zero bits.
+fn bits_for(fanout: u64) -> u32 {
+    if fanout <= 1 {
+        0
+    } else {
+        64 - (fanout - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema::apb1::apb1_schema;
+
+    fn product_encoding() -> HierarchicalEncoding {
+        let s = apb1_schema();
+        let product = &s.dimensions()[s.dimension_index("product").unwrap()];
+        HierarchicalEncoding::for_hierarchy(product.hierarchy())
+    }
+
+    fn customer_encoding() -> HierarchicalEncoding {
+        let s = apb1_schema();
+        let customer = &s.dimensions()[s.dimension_index("customer").unwrap()];
+        HierarchicalEncoding::for_hierarchy(customer.hierarchy())
+    }
+
+    #[test]
+    fn table_1_product_layout() {
+        // Table 1: ddd ll fff gg c oooo = 3+2+3+2+1+4 = 15 bits.
+        let e = product_encoding();
+        assert_eq!(e.bits_per_level(), &[3, 2, 3, 2, 1, 4]);
+        assert_eq!(e.total_bits(), 15);
+        assert_eq!(e.levels(), 6);
+        // Locating a GROUP needs only the 10-bit prefix dddllfffgg.
+        assert_eq!(e.prefix_bits(3), 10);
+        // Locating a CODE needs all 15.
+        assert_eq!(e.prefix_bits(5), 15);
+        assert_eq!(e.prefix_bits(0), 3);
+    }
+
+    #[test]
+    fn customer_needs_12_bitmaps() {
+        // Paper §3.2: encoded index on CUSTOMER needs 12 bitmaps
+        // (144 retailers → 8 bits, 10 stores per retailer → 4 bits).
+        let e = customer_encoding();
+        assert_eq!(e.total_bits(), 12);
+        assert_eq!(e.bits_per_level(), &[8, 4]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_for_all_codes() {
+        let e = product_encoding();
+        for leaf in (0..14_400).step_by(97) {
+            let pattern = e.encode_leaf(leaf);
+            assert_eq!(e.decode_leaf(pattern), Some(leaf));
+        }
+        // First and last codes.
+        assert_eq!(e.decode_leaf(e.encode_leaf(0)), Some(0));
+        assert_eq!(e.decode_leaf(e.encode_leaf(14_399)), Some(14_399));
+    }
+
+    #[test]
+    fn codes_of_same_group_share_prefix() {
+        let e = product_encoding();
+        // Codes 0..29 belong to group 0; they must share the 10-bit prefix.
+        let (prefix, bits) = e.encode_prefix(3, 0);
+        assert_eq!(bits, 10);
+        for code in 0..30 {
+            let pattern = e.encode_leaf(code);
+            assert_eq!(pattern >> (15 - 10), prefix, "code {code}");
+        }
+        // A code of another group differs in the prefix.
+        let other = e.encode_leaf(30);
+        assert_ne!(other >> 5, prefix);
+    }
+
+    #[test]
+    fn match_pattern_structure() {
+        let e = product_encoding();
+        let m = e.match_pattern(3, 1); // group 1
+        assert_eq!(m.len(), 10);
+        // Group 1 is (division 0, line 0, family 0, group 1):
+        // pattern 000 00 000 01 → only the last prefix bit is 1.
+        let ones: Vec<u32> = m.iter().filter(|(_, v)| *v).map(|(i, _)| *i).collect();
+        assert_eq!(ones, vec![9]);
+    }
+
+    #[test]
+    fn decode_rejects_invalid_code_points() {
+        let e = product_encoding();
+        // Line ordinal 3 is invalid (fan-out 3 → ordinals 0..2).
+        // Pattern: division 0, line bits = 0b11, rest zero.
+        let invalid = 0b000_11_000_00_0_0000u64;
+        assert_eq!(e.decode_leaf(invalid), None);
+        // Extra high bits beyond 15 are invalid.
+        assert_eq!(e.decode_leaf(1 << 20), None);
+    }
+
+    #[test]
+    fn bits_for_edge_cases() {
+        assert_eq!(bits_for(1), 0);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(1_024), 10);
+        assert_eq!(bits_for(1_025), 11);
+    }
+
+    #[test]
+    fn single_level_hierarchy_encoding() {
+        let h = Hierarchy::from_fanouts(&[("channel", 15)]);
+        let e = HierarchicalEncoding::for_hierarchy(&h);
+        assert_eq!(e.total_bits(), 4);
+        assert_eq!(e.prefix_bits(0), 4);
+        for v in 0..15 {
+            assert_eq!(e.decode_leaf(e.encode_leaf(v)), Some(v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use schema::Hierarchy;
+
+    fn arb_hierarchy() -> impl Strategy<Value = Hierarchy> {
+        proptest::collection::vec(1u64..12, 1..5).prop_map(|fanouts| {
+            Hierarchy::new(
+                fanouts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &f)| schema::HierarchyLevel::new(format!("l{i}"), f))
+                    .collect(),
+            )
+        })
+    }
+
+    proptest! {
+        /// Encoding round-trips for every leaf of arbitrary hierarchies.
+        #[test]
+        fn prop_roundtrip(h in arb_hierarchy()) {
+            let e = HierarchicalEncoding::for_hierarchy(&h);
+            for leaf in 0..h.leaf_cardinality() {
+                prop_assert_eq!(e.decode_leaf(e.encode_leaf(leaf)), Some(leaf));
+            }
+        }
+
+        /// All leaves below an ancestor share exactly that ancestor's prefix,
+        /// and leaves below different ancestors have different prefixes.
+        #[test]
+        fn prop_prefix_property(h in arb_hierarchy(), level_seed in 0usize..8) {
+            let e = HierarchicalEncoding::for_hierarchy(&h);
+            let level = level_seed % h.depth();
+            let prefix_bits = e.prefix_bits(level);
+            let total = e.total_bits();
+            for leaf in 0..h.leaf_cardinality() {
+                let anc = h.ancestor_of_leaf(leaf, level);
+                let (prefix, bits) = e.encode_prefix(level, anc);
+                prop_assert_eq!(bits, prefix_bits);
+                let leaf_pattern = e.encode_leaf(leaf);
+                prop_assert_eq!(leaf_pattern >> (total - prefix_bits), prefix);
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Bitmap fragmentation aligned with fact-table fragments.
+//!
+//! The paper partitions every bitmap with the *same* fragmentation as the
+//! fact table, "meaning that each bitmap of any bitmap index is partitioned
+//! into n bitmap fragments.  This ensures that the bits of a bitmap fragment
+//! refer to exactly one fact fragment and allows different fact fragments to
+//! be processed independently" (§4).  This module provides the sizing
+//! arithmetic used by the thresholds, the cost model and the simulator, plus
+//! a materialised splitter used in tests to verify the alignment property.
+
+use serde::{Deserialize, Serialize};
+
+use schema::PageSizing;
+
+use crate::bitvec::Bitmap;
+
+/// Sizing of bitmap fragments for an `n`-fragment fact-table fragmentation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BitmapFragmentation {
+    fragments: u64,
+    fact_rows: u64,
+    page_size_bytes: u64,
+}
+
+impl BitmapFragmentation {
+    /// Creates sizing information for `fragments` fact fragments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fragments` is zero.
+    #[must_use]
+    pub fn new(sizing: &PageSizing, fragments: u64) -> Self {
+        assert!(fragments > 0, "fragment count must be positive");
+        BitmapFragmentation {
+            fragments,
+            fact_rows: sizing.fact_rows(),
+            page_size_bytes: sizing.page_size_bytes(),
+        }
+    }
+
+    /// Number of fact (and therefore bitmap) fragments.
+    #[must_use]
+    pub fn fragments(&self) -> u64 {
+        self.fragments
+    }
+
+    /// Average number of fact rows (bits) per fragment.
+    #[must_use]
+    pub fn bits_per_fragment(&self) -> f64 {
+        self.fact_rows as f64 / self.fragments as f64
+    }
+
+    /// Average bitmap-fragment size in bytes.
+    #[must_use]
+    pub fn bytes_per_fragment(&self) -> f64 {
+        self.bits_per_fragment() / 8.0
+    }
+
+    /// Average bitmap-fragment size in pages (fractional) — the quantity
+    /// reported in Table 6 and constrained by the thresholds of §4.4.
+    #[must_use]
+    pub fn pages_per_fragment(&self) -> f64 {
+        self.bytes_per_fragment() / self.page_size_bytes as f64
+    }
+
+    /// Whole pages that must be read to fetch one bitmap fragment.
+    #[must_use]
+    pub fn whole_pages_per_fragment(&self) -> u64 {
+        (self.pages_per_fragment().ceil() as u64).max(1)
+    }
+
+    /// I/O operations needed to read one bitmap fragment with the given
+    /// prefetch granule (in pages).
+    #[must_use]
+    pub fn io_ops_per_fragment(&self, prefetch_pages: u64) -> u64 {
+        assert!(prefetch_pages > 0);
+        self.whole_pages_per_fragment().div_ceil(prefetch_pages)
+    }
+}
+
+/// Splits a materialised bitmap into per-fragment bitmaps, given the fragment
+/// id of every fact row.  Used to verify the alignment invariant: bit `i` of
+/// fragment `f`'s bitmap refers to the `i`-th row assigned to fragment `f`.
+#[must_use]
+pub fn split_bitmap_by_fragment(
+    bitmap: &Bitmap,
+    row_fragments: &[u64],
+    fragment_count: u64,
+) -> Vec<Bitmap> {
+    assert_eq!(bitmap.len(), row_fragments.len(), "one fragment id per row");
+    // Count rows per fragment to size the per-fragment bitmaps.
+    let mut counts = vec![0usize; fragment_count as usize];
+    for &f in row_fragments {
+        counts[f as usize] += 1;
+    }
+    let mut fragments: Vec<Bitmap> = counts.iter().map(|&c| Bitmap::new(c)).collect();
+    let mut next_local = vec![0usize; fragment_count as usize];
+    for (row, &f) in row_fragments.iter().enumerate() {
+        let local = next_local[f as usize];
+        next_local[f as usize] += 1;
+        if bitmap.get(row) {
+            fragments[f as usize].set(local, true);
+        }
+    }
+    fragments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema::apb1::apb1_schema;
+    use schema::PageSizing;
+
+    #[test]
+    fn table_6_fragment_sizes() {
+        let sizing = PageSizing::new(&apb1_schema());
+        let mg = BitmapFragmentation::new(&sizing, 11_520);
+        let mc = BitmapFragmentation::new(&sizing, 23_040);
+        let mcode = BitmapFragmentation::new(&sizing, 345_600);
+        assert!((mg.pages_per_fragment() - 4.94).abs() < 0.05);
+        assert!((mc.pages_per_fragment() - 2.47).abs() < 0.05);
+        assert!((mcode.pages_per_fragment() - 0.165).abs() < 0.01);
+        // Whole-page / prefetch rounding as used in Table 6's parentheses.
+        assert_eq!(mg.whole_pages_per_fragment(), 5);
+        assert_eq!(mc.whole_pages_per_fragment(), 3);
+        assert_eq!(mcode.whole_pages_per_fragment(), 1);
+    }
+
+    #[test]
+    fn io_ops_respect_prefetch_granule() {
+        let sizing = PageSizing::new(&apb1_schema());
+        let mg = BitmapFragmentation::new(&sizing, 11_520);
+        assert_eq!(mg.io_ops_per_fragment(5), 1);
+        assert_eq!(mg.io_ops_per_fragment(1), 5);
+        assert_eq!(mg.io_ops_per_fragment(2), 3);
+    }
+
+    #[test]
+    fn bits_and_bytes_consistent() {
+        let sizing = PageSizing::new(&apb1_schema());
+        let f = BitmapFragmentation::new(&sizing, 1_000);
+        assert!((f.bits_per_fragment() - 1_866_240.0).abs() < 1.0);
+        assert!((f.bytes_per_fragment() * 8.0 - f.bits_per_fragment()).abs() < 1e-6);
+        assert_eq!(f.fragments(), 1_000);
+    }
+
+    #[test]
+    fn split_preserves_bits_and_alignment() {
+        // 10 rows in 3 fragments assigned round-robin.
+        let row_fragments: Vec<u64> = (0..10).map(|i| i % 3).collect();
+        let bitmap = Bitmap::from_positions(10, [0, 3, 4, 9]);
+        let parts = split_bitmap_by_fragment(&bitmap, &row_fragments, 3);
+        assert_eq!(parts.len(), 3);
+        // Fragment 0 holds rows 0,3,6,9 → local bits 0 (row0), 1 (row3), 3 (row9).
+        assert_eq!(parts[0].iter_ones().collect::<Vec<_>>(), vec![0, 1, 3]);
+        // Fragment 1 holds rows 1,4,7 → local bit 1 (row 4).
+        assert_eq!(parts[1].iter_ones().collect::<Vec<_>>(), vec![1]);
+        // Fragment 2 holds rows 2,5,8 → no hits.
+        assert!(parts[2].is_all_zero());
+        // Total set bits preserved.
+        let total: usize = parts.iter().map(Bitmap::count_ones).sum();
+        assert_eq!(total, bitmap.count_ones());
+    }
+
+    #[test]
+    #[should_panic(expected = "fragment count must be positive")]
+    fn zero_fragments_rejected() {
+        let sizing = PageSizing::new(&apb1_schema());
+        let _ = BitmapFragmentation::new(&sizing, 0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Splitting conserves set bits and sizes fragments by row counts.
+        #[test]
+        fn prop_split_conservation(
+            bits in proptest::collection::vec(proptest::bool::ANY, 1..300),
+            fragment_count in 1u64..8,
+        ) {
+            let n = bits.len();
+            let mut bitmap = Bitmap::new(n);
+            for (i, b) in bits.iter().enumerate() {
+                bitmap.set(i, *b);
+            }
+            let row_fragments: Vec<u64> = (0..n as u64).map(|i| i % fragment_count).collect();
+            let parts = split_bitmap_by_fragment(&bitmap, &row_fragments, fragment_count);
+            let total: usize = parts.iter().map(Bitmap::count_ones).sum();
+            prop_assert_eq!(total, bitmap.count_ones());
+            let total_len: usize = parts.iter().map(Bitmap::len).sum();
+            prop_assert_eq!(total_len, n);
+        }
+    }
+}

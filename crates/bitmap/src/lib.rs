@@ -1,0 +1,39 @@
+//! `bitmap` — bitmap join index substrate for star-query processing.
+//!
+//! Star queries are processed in the paper by reading and intersecting
+//! bitmaps: one bit per fact row indicates whether that row matches a given
+//! dimension value (a *bitmap join index*, [O'Neil/Graefe 1995]).  For
+//! high-cardinality dimensions the paper uses *encoded* bitmap indices
+//! [Wu/Buchmann 1998] with a **hierarchical encoding**: each hierarchy level
+//! contributes a sub-pattern of bits, so the PRODUCT dimension needs only 15
+//! bitmaps instead of 14 400 and any ancestor level can be matched by reading
+//! only its prefix bitmaps (Table 1 of the paper).
+//!
+//! This crate provides:
+//!
+//! * [`bitvec::Bitmap`] — an uncompressed bitmap with the Boolean operations
+//!   used by star-join processing,
+//! * [`wah::WahBitmap`] — a word-aligned-hybrid compressed representation,
+//! * [`encoding::HierarchicalEncoding`] — the per-level bit layout of an
+//!   encoded bitmap index derived from a dimension hierarchy,
+//! * [`index::BitmapIndexSpec`] / [`index::IndexCatalog`] — the logical
+//!   description (how many bitmaps, which bitmaps a selection must read) used
+//!   by the cost model and the simulator,
+//! * [`builder::MaterialisedIndex`] — a real, in-memory bitmap join index
+//!   over a materialised (scaled-down) fact table, used by the examples and
+//!   integration tests to validate the logical model against actual data,
+//! * [`fragment`] — bitmap fragmentation aligned with fact-table fragments.
+
+pub mod bitvec;
+pub mod builder;
+pub mod encoding;
+pub mod fragment;
+pub mod index;
+pub mod wah;
+
+pub use bitvec::Bitmap;
+pub use builder::{evaluate_star_query, FactRow, MaterialisedFactTable, MaterialisedIndex};
+pub use encoding::HierarchicalEncoding;
+pub use fragment::BitmapFragmentation;
+pub use index::{BitmapIndexKind, BitmapIndexSpec, IndexCatalog};
+pub use wah::WahBitmap;

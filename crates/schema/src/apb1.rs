@@ -1,0 +1,306 @@
+//! The APB-1 star schema used in the paper's evaluation (Figure 1).
+//!
+//! APB-1 (OLAP Council Analytical Processing Benchmark, Release II) models a
+//! sales-analysis environment with one fact table (`SALES`) and four dimension
+//! tables.  The paper fixes a configuration of **15 distribution channels** and
+//! a fact-table **density factor of 25 %**, which yields the cardinalities of
+//! Figure 1:
+//!
+//! | Dimension | Hierarchy (coarse → fine) | Leaf cardinality |
+//! |---|---|---|
+//! | PRODUCT  | Division (8) → Line (×3) → Family (×5) → Group (×4) → Class (×2) → Code (×15) | 14 400 codes |
+//! | CUSTOMER | Retailer (144) → Store (×10) | 1 440 stores |
+//! | TIME     | Year (2) → Quarter (×4) → Month (×3) | 24 months |
+//! | CHANNEL  | Channel (15) | 15 channels |
+//!
+//! giving `0.25 × 14 400 × 1 440 × 24 × 15 = 1 866 240 000` fact rows, each
+//! 20 bytes wide (three measures plus four foreign keys).
+
+use crate::dimension::Dimension;
+use crate::hierarchy::Hierarchy;
+use crate::star::{FactTable, Measure, StarSchema};
+
+/// Configuration knobs of the APB-1 schema generator.
+///
+/// The defaults reproduce the paper's configuration exactly; the generator is
+/// deliberately parameterised ("a flexible parameterization for the dimension
+/// hierarchies and cardinalities as well as the fact table density", §5) so
+/// that scaled-down schemas can be materialised in examples and tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Apb1Config {
+    /// Number of distribution channels (paper: 15).
+    pub channels: u64,
+    /// Number of months in the time frame (paper / APB-1: 24).
+    pub months: u64,
+    /// Number of customer stores (paper: 1 440).
+    pub stores: u64,
+    /// Number of product codes (paper: 14 400).
+    pub product_codes: u64,
+    /// Density factor applied to the dimension cross product (paper: 0.25).
+    pub density: f64,
+    /// Fact tuple size in bytes (paper: 20 B).
+    pub fact_tuple_bytes: u64,
+}
+
+impl Default for Apb1Config {
+    fn default() -> Self {
+        Apb1Config {
+            channels: 15,
+            months: 24,
+            stores: 1_440,
+            product_codes: 14_400,
+            density: 0.25,
+            fact_tuple_bytes: 20,
+        }
+    }
+}
+
+impl Apb1Config {
+    /// A drastically scaled-down configuration whose fact table can be
+    /// materialised in memory — used by examples and integration tests that
+    /// exercise the real bitmap-index code paths.
+    #[must_use]
+    pub fn scaled_down() -> Self {
+        Apb1Config {
+            channels: 3,
+            months: 12,
+            stores: 40,
+            product_codes: 120,
+            density: 0.05,
+            fact_tuple_bytes: 20,
+        }
+    }
+
+    /// Builds the star schema for this configuration.
+    ///
+    /// The intra-dimension hierarchy *ratios* follow APB-1 / Table 1 of the
+    /// paper (8 divisions, 3 lines per division, 5 families per line, 4 groups
+    /// per family, 2 classes per group, codes per class as needed; 10 stores
+    /// per retailer; 3 months per quarter, 4 quarters per year).  Scaled
+    /// configurations keep the ratios wherever the requested leaf cardinality
+    /// allows and otherwise collapse the upper levels proportionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cardinality is zero or the requested leaf cardinalities
+    /// are not divisible by the fixed hierarchy ratios.
+    #[must_use]
+    pub fn build(&self) -> StarSchema {
+        assert!(self.channels > 0 && self.months > 0 && self.stores > 0);
+        assert!(self.product_codes > 0);
+
+        // PRODUCT: division → line → family → group → class → code.
+        // Fixed upper ratios 8 × 3 × 5 × 4 × 2 = 960 classes; codes per class
+        // = product_codes / 960 for the full-size schema.  For scaled-down
+        // schemas we shrink the number of divisions first.
+        let product = build_product_hierarchy(self.product_codes);
+
+        // CUSTOMER: retailer → store with 10 stores per retailer.
+        let stores_per_retailer = if self.stores.is_multiple_of(10) { 10 } else { self.stores };
+        let retailers = self.stores / stores_per_retailer;
+        let customer = Dimension::new(
+            "customer",
+            Hierarchy::from_fanouts(&[("retailer", retailers), ("store", stores_per_retailer)]),
+        );
+
+        // TIME: year → quarter → month with 3 months/quarter, 4 quarters/year.
+        assert!(
+            self.months.is_multiple_of(3),
+            "months must be divisible by 3 (quarters of 3 months)"
+        );
+        let quarters = self.months / 3;
+        let (years, quarters_per_year) = if quarters.is_multiple_of(4) {
+            (quarters / 4, 4)
+        } else {
+            (1, quarters)
+        };
+        let time = Dimension::new(
+            "time",
+            Hierarchy::from_fanouts(&[
+                ("year", years),
+                ("quarter", quarters_per_year),
+                ("month", 3),
+            ]),
+        );
+
+        // CHANNEL: a single-level hierarchy.
+        let channel = Dimension::new(
+            "channel",
+            Hierarchy::from_fanouts(&[("channel", self.channels)]),
+        );
+
+        let fact = FactTable::new(
+            "sales",
+            vec![
+                Measure::new("unitssold", 4),
+                Measure::new("dollarsales", 8),
+                Measure::new("cost", 8),
+            ],
+            self.fact_tuple_bytes,
+            self.density,
+        );
+
+        StarSchema::new(fact, vec![product, customer, channel, time])
+            .expect("APB-1 dimension names are unique")
+    }
+}
+
+/// Builds the PRODUCT hierarchy for a given number of leaf codes, keeping the
+/// APB-1 ratios (3 lines/division, 5 families/line, 4 groups/family,
+/// 2 classes/group) and adapting the number of divisions and codes/class.
+fn build_product_hierarchy(codes: u64) -> Dimension {
+    // Full-size path: 8 divisions and codes divisible by 960 (= 8·3·5·4·2
+    // classes), giving `codes / 960` codes per class — 15 for APB-1.
+    if codes.is_multiple_of(960) {
+        let codes_per_class = codes / 960;
+        return Dimension::new(
+            "product",
+            Hierarchy::from_fanouts(&[
+                ("division", 8),
+                ("line", 3),
+                ("family", 5),
+                ("group", 4),
+                ("class", 2),
+                ("code", codes_per_class),
+            ]),
+        );
+    }
+    // Scaled-down path: keep a 6-level hierarchy with small fixed ratios
+    // (lines ×2, families ×2, groups ×2, classes ×... ) so long as it divides.
+    let inner = 2 * 2 * 2; // line × family × group fan-outs
+    assert!(
+        codes.is_multiple_of(inner),
+        "scaled product code count {codes} must be divisible by {inner}"
+    );
+    let remaining = codes / inner;
+    // Split the remaining factor into divisions × classes×codes as evenly as
+    // divisibility allows; prefer at least 2 divisions when possible.
+    let divisions = if remaining.is_multiple_of(3) {
+        3
+    } else if remaining.is_multiple_of(2) {
+        2
+    } else {
+        1
+    };
+    let leaf = remaining / divisions;
+    Dimension::new(
+        "product",
+        Hierarchy::from_fanouts(&[
+            ("division", divisions),
+            ("line", 2),
+            ("family", 2),
+            ("group", 2),
+            ("class", 1),
+            ("code", leaf),
+        ]),
+    )
+}
+
+/// Builds the paper's full-size APB-1 schema (15 channels, density 25 %).
+#[must_use]
+pub fn apb1_schema() -> StarSchema {
+    Apb1Config::default().build()
+}
+
+/// Builds the scaled-down APB-1 schema used for materialised examples/tests.
+#[must_use]
+pub fn apb1_scaled_down() -> StarSchema {
+    Apb1Config::scaled_down().build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_schema_matches_figure_1() {
+        let s = apb1_schema();
+        assert_eq!(s.dimension_count(), 4);
+        assert_eq!(s.fact_row_count(), 1_866_240_000);
+        assert_eq!(s.fact().tuple_size_bytes(), 20);
+
+        let product = &s.dimensions()[s.dimension_index("product").unwrap()];
+        assert_eq!(product.cardinality(), 14_400);
+        assert_eq!(product.level_cardinality(0), 8); // divisions
+        assert_eq!(product.level_cardinality(1), 24); // lines
+        assert_eq!(product.level_cardinality(2), 120); // families
+        assert_eq!(product.level_cardinality(3), 480); // groups
+        assert_eq!(product.level_cardinality(4), 960); // classes
+        assert_eq!(product.level_cardinality(5), 14_400); // codes
+
+        let customer = &s.dimensions()[s.dimension_index("customer").unwrap()];
+        assert_eq!(customer.cardinality(), 1_440);
+        assert_eq!(customer.level_cardinality(0), 144); // retailers
+
+        let time = &s.dimensions()[s.dimension_index("time").unwrap()];
+        assert_eq!(time.cardinality(), 24);
+        assert_eq!(time.level_cardinality(0), 2); // years
+        assert_eq!(time.level_cardinality(1), 8); // quarters
+
+        let channel = &s.dimensions()[s.dimension_index("channel").unwrap()];
+        assert_eq!(channel.cardinality(), 15);
+    }
+
+    #[test]
+    fn fact_table_size_is_about_37_gb() {
+        let s = apb1_schema();
+        let gb = s.fact_table_bytes() as f64 / 1e9;
+        // 1.866e9 rows × 20 B ≈ 37.3 GB
+        assert!((gb - 37.3).abs() < 0.2, "fact table size {gb} GB");
+    }
+
+    #[test]
+    fn dimension_tables_are_tiny_compared_to_fact() {
+        let s = apb1_schema();
+        // Paper: "our four dimension tables only occupy 1 MB".  With our
+        // default 64-byte denormalised rows they stay ~1 MB.
+        let mb = s.dimension_tables_bytes() as f64 / 1e6;
+        assert!(mb < 2.0, "dimension tables {mb} MB");
+        assert!(s.dimension_tables_bytes() * 1_000 < s.fact_table_bytes());
+    }
+
+    #[test]
+    fn scaled_down_schema_is_materialisable() {
+        let s = apb1_scaled_down();
+        assert!(s.fact_row_count() > 0);
+        assert!(s.fact_row_count() < 2_000_000);
+        assert_eq!(s.dimension_count(), 4);
+        // Same dimension names as the full schema, so queries are portable.
+        for name in ["product", "customer", "channel", "time"] {
+            assert!(s.dimension_index(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn custom_channel_count_scales_schema() {
+        let cfg = Apb1Config {
+            channels: 10,
+            ..Apb1Config::default()
+        };
+        let s = cfg.build();
+        let channel = &s.dimensions()[s.dimension_index("channel").unwrap()];
+        assert_eq!(channel.cardinality(), 10);
+        assert_eq!(
+            s.fact_row_count(),
+            (0.25f64 * (14_400u64 * 1_440 * 24 * 10) as f64).round() as u64
+        );
+    }
+
+    #[test]
+    fn attr_lookup_shorthand() {
+        let s = apb1_schema();
+        for (dim, level, card) in [
+            ("product", "code", 14_400),
+            ("product", "group", 480),
+            ("customer", "store", 1_440),
+            ("customer", "retailer", 144),
+            ("time", "month", 24),
+            ("time", "quarter", 8),
+            ("time", "year", 2),
+            ("channel", "channel", 15),
+        ] {
+            let a = s.attr(dim, level).unwrap();
+            assert_eq!(a.cardinality(&s), card, "{dim}::{level}");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! `schema` — star-schema metadata for relational data warehouses.
+//!
+//! The paper's allocation methods operate on the *metadata* of a star schema:
+//! dimension hierarchies, attribute cardinalities, the density of the fact
+//! table, tuple and page sizes.  This crate models exactly that:
+//!
+//! * [`Hierarchy`] / [`HierarchyLevel`] — a dimension hierarchy ordered from
+//!   the coarsest level (e.g. `Year`) down to the finest (e.g. `Month`), with
+//!   per-level fan-outs,
+//! * [`Dimension`] — a named dimension table with its hierarchy,
+//! * [`StarSchema`] / [`FactTable`] — the complete schema with measures,
+//!   tuple size and density factor,
+//! * [`AttrRef`] / [`LevelRef`] — references to `dimension::level` attributes
+//!   in the notation used throughout the paper (e.g. `product::group`),
+//! * [`apb1`] — a ready-made builder for the APB-1 benchmark schema the
+//!   paper's evaluation is based on (15 channels, density 25 %,
+//!   1 866 240 000 fact rows),
+//! * [`size`] — page/tuple/bitmap sizing helpers shared by the cost model and
+//!   the simulator.
+
+pub mod apb1;
+pub mod attr;
+pub mod dimension;
+pub mod hierarchy;
+pub mod size;
+pub mod star;
+
+pub use attr::{AttrRef, LevelRef, ParseAttrError};
+pub use dimension::Dimension;
+pub use hierarchy::{Hierarchy, HierarchyLevel};
+pub use size::{PageSizing, DEFAULT_PAGE_SIZE};
+pub use star::{FactTable, Measure, SchemaError, StarSchema};

@@ -1,0 +1,47 @@
+//! `simkit` — a small, deterministic discrete-event simulation engine.
+//!
+//! The VLDB 2000 paper this repository reproduces evaluated its data-allocation
+//! strategies with SIMPAD, a C++ simulator built on the commercial CSIM18
+//! library.  `simkit` provides the subset of CSIM functionality that the SIMPAD
+//! model actually needs:
+//!
+//! * a simulation clock and an event calendar ([`EventQueue`]),
+//! * first-come-first-served single-server resources with explicit waiting
+//!   queues ([`server::FcfsServer`]) used to model disks,
+//! * multi-slot servers ([`server::MultiServer`]) used to model CPU nodes,
+//! * statistics collectors ([`stats::Tally`], [`stats::TimeWeighted`],
+//!   [`stats::Histogram`]),
+//! * reproducible random-number streams ([`rng::RngStream`]).
+//!
+//! The engine is *event-driven* rather than process-oriented: a model
+//! implements state machines and reacts to typed events popped from the
+//! calendar.  This keeps the engine free of unsafe code and makes simulations
+//! fully deterministic for a given seed.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::{EventQueue, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping(u32) }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::from_millis(5.0), Ev::Ping(2));
+//! q.schedule(SimTime::from_millis(1.0), Ev::Ping(1));
+//! let (t, e) = q.pop().unwrap();
+//! assert_eq!(t, SimTime::from_millis(1.0));
+//! assert_eq!(e, Ev::Ping(1));
+//! ```
+
+pub mod events;
+pub mod rng;
+pub mod server;
+pub mod stats;
+pub mod time;
+
+pub use events::EventQueue;
+pub use rng::RngStream;
+pub use server::{FcfsServer, MultiServer};
+pub use stats::{Histogram, Tally, TimeWeighted};
+pub use time::SimTime;

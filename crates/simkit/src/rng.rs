@@ -1,0 +1,162 @@
+//! Reproducible random-number streams.
+//!
+//! SIMPAD selects query parameters "at random" (paper §5).  To keep experiment
+//! runs reproducible and independent of each other, every model component
+//! draws from its own [`RngStream`], derived from a master seed plus a stream
+//! identifier — the classic CSIM "stream" idiom.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A named, seeded random stream.
+#[derive(Debug, Clone)]
+pub struct RngStream {
+    rng: StdRng,
+    seed: u64,
+    stream: u64,
+}
+
+impl RngStream {
+    /// Creates stream number `stream` of the family identified by `seed`.
+    ///
+    /// Different `(seed, stream)` pairs produce statistically independent
+    /// sequences; the same pair always produces the same sequence.
+    #[must_use]
+    pub fn new(seed: u64, stream: u64) -> Self {
+        // SplitMix64-style mixing so that consecutive stream ids do not yield
+        // correlated StdRng seeds.
+        let mut z = seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        RngStream {
+            rng: StdRng::seed_from_u64(z),
+            seed,
+            stream,
+        }
+    }
+
+    /// The master seed this stream was derived from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The stream identifier.
+    #[must_use]
+    pub fn stream_id(&self) -> u64 {
+        self.stream
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn uniform_index(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "uniform_index bound must be positive");
+        self.rng.gen_range(0..bound)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(hi > lo, "uniform range must be non-empty");
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Exponentially distributed value with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        self.rng.gen_bool(p)
+    }
+
+    /// Random permutation of `0..n` (Fisher–Yates).
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.rng.gen_range(0..=i);
+            out.swap(i, j);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_and_stream_reproduce() {
+        let mut a = RngStream::new(42, 7);
+        let mut b = RngStream::new(42, 7);
+        let xs: Vec<u64> = (0..100).map(|_| a.uniform_index(1000)).collect();
+        let ys: Vec<u64> = (0..100).map(|_| b.uniform_index(1000)).collect();
+        assert_eq!(xs, ys);
+        assert_eq!(a.seed(), 42);
+        assert_eq!(a.stream_id(), 7);
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let mut a = RngStream::new(42, 0);
+        let mut b = RngStream::new(42, 1);
+        let xs: Vec<u64> = (0..50).map(|_| a.uniform_index(1_000_000)).collect();
+        let ys: Vec<u64> = (0..50).map(|_| b.uniform_index(1_000_000)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn uniform_index_respects_bound() {
+        let mut r = RngStream::new(1, 1);
+        for _ in 0..1_000 {
+            assert!(r.uniform_index(17) < 17);
+        }
+    }
+
+    #[test]
+    fn uniform_respects_range() {
+        let mut r = RngStream::new(1, 2);
+        for _ in 0..1_000 {
+            let v = r.uniform(3.0, 5.0);
+            assert!((3.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_roughly_right() {
+        let mut r = RngStream::new(7, 3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.exponential(10.0)).sum::<f64>() / f64::from(n);
+        assert!((mean - 10.0).abs() < 0.5, "sample mean {mean}");
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut r = RngStream::new(3, 4);
+        let p = r.permutation(100);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = RngStream::new(5, 5);
+        assert!(!(0..100).any(|_| r.bernoulli(0.0)));
+        assert!((0..100).all(|_| r.bernoulli(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_rejected() {
+        RngStream::new(0, 0).uniform_index(0);
+    }
+}

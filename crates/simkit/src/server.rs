@@ -1,0 +1,339 @@
+//! FCFS server resources.
+//!
+//! SIMPAD models processors and disks "explicitly as servers to realistically
+//! capture access conflicts and delays" (paper §5).  The two building blocks
+//! here do exactly that:
+//!
+//! * [`FcfsServer`] — a single server with a FIFO waiting queue.  Used for
+//!   disks, where only one request can be in service at a time and the service
+//!   time of a request may depend on the state left behind by the previous one
+//!   (seek distance).
+//! * [`MultiServer`] — `c` identical service slots sharing one FIFO queue.
+//!   Used for CPU nodes that can interleave a bounded number of tasks.
+//!
+//! Both types are *passive*: they do not know about the event calendar.  The
+//! caller submits work and receives the absolute completion time, then
+//! schedules its own completion event.  This keeps the resource model
+//! independent of the event payload type and easy to test in isolation.
+
+use crate::stats::{Tally, TimeWeighted};
+use crate::time::SimTime;
+
+/// A single first-come-first-served server (e.g. one disk).
+///
+/// Requests are served strictly in submission order.  The server keeps track
+/// of when it becomes free; a request submitted at time `t` starts at
+/// `max(t, free_at)` and completes after its service time.
+#[derive(Debug)]
+pub struct FcfsServer {
+    name: String,
+    free_at: SimTime,
+    busy: TimeWeighted,
+    waiting_time: Tally,
+    service_time: Tally,
+    completed: u64,
+}
+
+impl FcfsServer {
+    /// Creates an idle server.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        FcfsServer {
+            name: name.into(),
+            free_at: SimTime::ZERO,
+            busy: TimeWeighted::new(),
+            waiting_time: Tally::new(),
+            service_time: Tally::new(),
+            completed: 0,
+        }
+    }
+
+    /// The server's diagnostic name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The time at which the server's queue drains given work submitted so far.
+    #[must_use]
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// True if a request submitted at `now` would start service immediately.
+    #[must_use]
+    pub fn is_idle_at(&self, now: SimTime) -> bool {
+        self.free_at <= now
+    }
+
+    /// Submits a request arriving at `now` that needs `service` time.
+    ///
+    /// Returns `(start, completion)` — the absolute times at which service
+    /// begins and ends.  The caller is responsible for scheduling an event at
+    /// `completion`.
+    pub fn submit(&mut self, now: SimTime, service: SimTime) -> (SimTime, SimTime) {
+        let start = self.free_at.max(now);
+        let completion = start + service;
+        self.busy.record(start, 0.0);
+        self.busy.record(completion, 1.0);
+        self.waiting_time.record((start - now).as_millis());
+        self.service_time.record(service.as_millis());
+        self.completed += 1;
+        self.free_at = completion;
+        (start, completion)
+    }
+
+    /// Number of requests submitted so far.
+    #[must_use]
+    pub fn completed_requests(&self) -> u64 {
+        self.completed
+    }
+
+    /// Mean waiting time (queueing delay before service), in milliseconds.
+    #[must_use]
+    pub fn mean_waiting_ms(&self) -> f64 {
+        self.waiting_time.mean()
+    }
+
+    /// Mean service time, in milliseconds.
+    #[must_use]
+    pub fn mean_service_ms(&self) -> f64 {
+        self.service_time.mean()
+    }
+
+    /// Total busy time accumulated by the server, in milliseconds.
+    #[must_use]
+    pub fn total_busy_ms(&self) -> f64 {
+        self.service_time.sum()
+    }
+
+    /// Utilisation of the server over `[0, horizon]`.
+    #[must_use]
+    pub fn utilisation(&self, horizon: SimTime) -> f64 {
+        if horizon.is_zero() {
+            return 0.0;
+        }
+        (self.total_busy_ms() / horizon.as_millis()).min(1.0)
+    }
+}
+
+/// A pool of `capacity` identical servers sharing a FIFO queue (e.g. the task
+/// slots of one processing node).
+///
+/// Unlike [`FcfsServer`], service times are assumed independent of server
+/// state, so the pool just tracks the earliest-free slot.
+#[derive(Debug)]
+pub struct MultiServer {
+    name: String,
+    slots: Vec<SimTime>,
+    service_time: Tally,
+    completed: u64,
+}
+
+impl MultiServer {
+    /// Creates a pool with `capacity` idle slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "MultiServer capacity must be positive");
+        MultiServer {
+            name: name.into(),
+            slots: vec![SimTime::ZERO; capacity],
+            service_time: Tally::new(),
+            completed: 0,
+        }
+    }
+
+    /// The pool's diagnostic name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of service slots.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of slots that are idle at `now`.
+    #[must_use]
+    pub fn idle_slots_at(&self, now: SimTime) -> usize {
+        self.slots.iter().filter(|&&f| f <= now).count()
+    }
+
+    /// Submits a request arriving at `now` needing `service` time and returns
+    /// `(start, completion)` using the earliest-free slot.
+    pub fn submit(&mut self, now: SimTime, service: SimTime) -> (SimTime, SimTime) {
+        let (idx, _) = self
+            .slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &free)| free)
+            .expect("capacity > 0");
+        let start = self.slots[idx].max(now);
+        let completion = start + service;
+        self.slots[idx] = completion;
+        self.service_time.record(service.as_millis());
+        self.completed += 1;
+        (start, completion)
+    }
+
+    /// Number of requests submitted so far.
+    #[must_use]
+    pub fn completed_requests(&self) -> u64 {
+        self.completed
+    }
+
+    /// Total busy time summed over all slots, in milliseconds.
+    #[must_use]
+    pub fn total_busy_ms(&self) -> f64 {
+        self.service_time.sum()
+    }
+
+    /// Mean utilisation per slot over `[0, horizon]`.
+    #[must_use]
+    pub fn utilisation(&self, horizon: SimTime) -> f64 {
+        if horizon.is_zero() {
+            return 0.0;
+        }
+        (self.total_busy_ms() / (horizon.as_millis() * self.slots.len() as f64)).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: f64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn fcfs_serialises_overlapping_requests() {
+        let mut disk = FcfsServer::new("disk0");
+        let (s1, c1) = disk.submit(ms(0.0), ms(10.0));
+        let (s2, c2) = disk.submit(ms(2.0), ms(10.0));
+        assert_eq!(s1, ms(0.0));
+        assert_eq!(c1, ms(10.0));
+        // Second request arrives while the first is in service: it waits.
+        assert_eq!(s2, ms(10.0));
+        assert_eq!(c2, ms(20.0));
+        assert_eq!(disk.completed_requests(), 2);
+        assert_eq!(disk.mean_waiting_ms(), 4.0); // (0 + 8) / 2
+        assert_eq!(disk.mean_service_ms(), 10.0);
+    }
+
+    #[test]
+    fn fcfs_idle_gap_resets_start_time() {
+        let mut disk = FcfsServer::new("disk0");
+        disk.submit(ms(0.0), ms(5.0));
+        let (s, c) = disk.submit(ms(100.0), ms(5.0));
+        assert_eq!(s, ms(100.0));
+        assert_eq!(c, ms(105.0));
+        assert!(disk.is_idle_at(ms(200.0)));
+        assert!(!disk.is_idle_at(ms(102.0)));
+    }
+
+    #[test]
+    fn fcfs_utilisation_bounded_by_one() {
+        let mut disk = FcfsServer::new("disk0");
+        for _ in 0..10 {
+            disk.submit(ms(0.0), ms(10.0));
+        }
+        assert_eq!(disk.total_busy_ms(), 100.0);
+        assert!((disk.utilisation(ms(100.0)) - 1.0).abs() < 1e-12);
+        assert!((disk.utilisation(ms(200.0)) - 0.5).abs() < 1e-12);
+        assert_eq!(disk.utilisation(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn multi_server_runs_capacity_requests_in_parallel() {
+        let mut node = MultiServer::new("node0", 4);
+        let completions: Vec<_> = (0..4).map(|_| node.submit(ms(0.0), ms(10.0)).1).collect();
+        assert!(completions.iter().all(|&c| c == ms(10.0)));
+        // Fifth request has to wait for a slot.
+        let (s5, c5) = node.submit(ms(0.0), ms(10.0));
+        assert_eq!(s5, ms(10.0));
+        assert_eq!(c5, ms(20.0));
+        assert_eq!(node.capacity(), 4);
+        assert_eq!(node.completed_requests(), 5);
+    }
+
+    #[test]
+    fn multi_server_idle_slots() {
+        let mut node = MultiServer::new("node0", 3);
+        node.submit(ms(0.0), ms(10.0));
+        assert_eq!(node.idle_slots_at(ms(5.0)), 2);
+        assert_eq!(node.idle_slots_at(ms(10.0)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn multi_server_rejects_zero_capacity() {
+        let _ = MultiServer::new("bad", 0);
+    }
+
+    #[test]
+    fn multi_server_utilisation() {
+        let mut node = MultiServer::new("node0", 2);
+        node.submit(ms(0.0), ms(10.0));
+        node.submit(ms(0.0), ms(10.0));
+        assert!((node.utilisation(ms(10.0)) - 1.0).abs() < 1e-12);
+        assert!((node.utilisation(ms(40.0)) - 0.25).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// A FCFS server never starts a request before the previous one
+        /// finished and never before its arrival time.
+        #[test]
+        fn prop_fcfs_no_overlap(
+            jobs in proptest::collection::vec((0.0f64..1e4, 0.1f64..1e3), 1..100)
+        ) {
+            // Sort by arrival time: callers submit in arrival order.
+            let mut jobs = jobs;
+            jobs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let mut server = FcfsServer::new("d");
+            let mut prev_completion = SimTime::ZERO;
+            for (arrival, service) in jobs {
+                let (start, completion) =
+                    server.submit(SimTime::from_millis(arrival), SimTime::from_millis(service));
+                prop_assert!(start >= SimTime::from_millis(arrival));
+                prop_assert!(start >= prev_completion);
+                prop_assert_eq!(completion, start + SimTime::from_millis(service));
+                prev_completion = completion;
+            }
+        }
+
+        /// A multi-server never has more than `capacity` overlapping jobs.
+        #[test]
+        fn prop_multi_server_respects_capacity(
+            capacity in 1usize..6,
+            services in proptest::collection::vec(1.0f64..50.0, 1..60)
+        ) {
+            let mut node = MultiServer::new("n", capacity);
+            let intervals: Vec<(SimTime, SimTime)> = services
+                .iter()
+                .map(|&s| node.submit(SimTime::ZERO, SimTime::from_millis(s)))
+                .collect();
+            // At any completion boundary, the number of intervals strictly
+            // containing that instant is below capacity.
+            for &(_, end) in &intervals {
+                let overlapping = intervals
+                    .iter()
+                    .filter(|(s, e)| *s < end && end < *e)
+                    .count();
+                prop_assert!(overlapping < capacity);
+            }
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Statistics collectors.
+//!
+//! Response times, utilisations and queue lengths are the observables the
+//! paper reports.  Three collectors cover those needs:
+//!
+//! * [`Tally`] — sample statistics (count, mean, variance, min, max) computed
+//!   online with Welford's algorithm.
+//! * [`TimeWeighted`] — a piecewise-constant signal integrated over time,
+//!   e.g. a queue length or a busy/idle indicator.
+//! * [`Histogram`] — fixed-width bins for response-time distributions.
+
+use crate::time::SimTime;
+
+/// Online sample statistics (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct Tally {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Tally {
+    /// Creates an empty tally.
+    #[must_use]
+    pub fn new() -> Self {
+        Tally {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (0 when empty).
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another tally into this one (parallel/chunked collection).
+    pub fn merge(&mut self, other: &Tally) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let new_mean =
+            self.mean + delta * other.count as f64 / total as f64;
+        let new_m2 = self.m2
+            + other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.mean = new_mean;
+        self.m2 = new_m2;
+        self.count = total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal.
+///
+/// Call [`TimeWeighted::record`] every time the signal changes; the collector
+/// integrates the previous value over the elapsed interval.
+#[derive(Debug, Clone, Default)]
+pub struct TimeWeighted {
+    last_time: Option<SimTime>,
+    last_value: f64,
+    weighted_sum: f64,
+    start: Option<SimTime>,
+}
+
+impl TimeWeighted {
+    /// Creates an empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        TimeWeighted::default()
+    }
+
+    /// Records that the signal takes `value` from time `at` onwards.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        if let Some(last) = self.last_time {
+            if at > last {
+                self.weighted_sum += self.last_value * (at - last).as_millis();
+            }
+        } else {
+            self.start = Some(at);
+        }
+        self.last_time = Some(self.last_time.map_or(at, |l| l.max(at)));
+        self.last_value = value;
+    }
+
+    /// Time-weighted mean of the signal between the first recorded change and
+    /// `until`.
+    #[must_use]
+    pub fn mean_until(&self, until: SimTime) -> f64 {
+        let (Some(start), Some(last)) = (self.start, self.last_time) else {
+            return 0.0;
+        };
+        let mut total = self.weighted_sum;
+        if until > last {
+            total += self.last_value * (until - last).as_millis();
+        }
+        let span = (until.max(last) - start).as_millis();
+        if span == 0.0 {
+            0.0
+        } else {
+            total / span
+        }
+    }
+}
+
+/// A fixed-width histogram over `[0, bin_width * bins)` with an overflow bin.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bin_width: f64,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` bins of width `bin_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero or `bin_width` is not positive.
+    #[must_use]
+    pub fn new(bin_width: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(bin_width > 0.0, "bin width must be positive");
+        Histogram {
+            bin_width,
+            counts: vec![0; bins],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one observation (negative values clamp into the first bin).
+    pub fn record(&mut self, value: f64) {
+        self.total += 1;
+        let idx = (value.max(0.0) / self.bin_width) as usize;
+        if idx < self.counts.len() {
+            self.counts[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Count in bin `idx`.
+    #[must_use]
+    pub fn bin_count(&self, idx: usize) -> u64 {
+        self.counts.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Observations beyond the last bin.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate quantile (by bin upper edge); `None` when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil() as u64;
+        let mut cumulative = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return Some((i as f64 + 1.0) * self.bin_width);
+            }
+        }
+        Some(self.bin_width * self.counts.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_basic_statistics() {
+        let mut t = Tally::new();
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            t.record(v);
+        }
+        assert_eq!(t.count(), 8);
+        assert_eq!(t.sum(), 40.0);
+        assert!((t.mean() - 5.0).abs() < 1e-12);
+        // Population variance of this classic example is 4; sample variance 32/7.
+        assert!((t.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(t.min(), Some(2.0));
+        assert_eq!(t.max(), Some(9.0));
+    }
+
+    #[test]
+    fn tally_empty_is_safe() {
+        let t = Tally::new();
+        assert_eq!(t.count(), 0);
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.variance(), 0.0);
+        assert_eq!(t.min(), None);
+        assert_eq!(t.max(), None);
+    }
+
+    #[test]
+    fn tally_merge_matches_single_pass() {
+        let values: Vec<f64> = (0..100).map(|i| f64::from(i) * 0.37).collect();
+        let mut whole = Tally::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        let mut a = Tally::new();
+        let mut b = Tally::new();
+        for (i, &v) in values.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut tw = TimeWeighted::new();
+        tw.record(SimTime::from_millis(0.0), 1.0);
+        tw.record(SimTime::from_millis(10.0), 3.0);
+        tw.record(SimTime::from_millis(20.0), 0.0);
+        // 1.0 for 10ms, 3.0 for 10ms, 0.0 for 20ms  => 40/40 = 1.0
+        assert!((tw.mean_until(SimTime::from_millis(40.0)) - 1.0).abs() < 1e-12);
+        // Over just the recorded span (20ms): (10 + 30) / 20 = 2.0
+        assert!((tw.mean_until(SimTime::from_millis(20.0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_empty_and_degenerate() {
+        let tw = TimeWeighted::new();
+        assert_eq!(tw.mean_until(SimTime::from_millis(10.0)), 0.0);
+        let mut tw = TimeWeighted::new();
+        tw.record(SimTime::from_millis(5.0), 7.0);
+        assert_eq!(tw.mean_until(SimTime::from_millis(5.0)), 0.0);
+    }
+
+    #[test]
+    fn histogram_bins_and_overflow() {
+        let mut h = Histogram::new(10.0, 5);
+        for v in [1.0, 9.9, 10.0, 25.0, 49.9, 50.0, 1000.0] {
+            h.record(v);
+        }
+        assert_eq!(h.bin_count(0), 2);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(2), 1);
+        assert_eq!(h.bin_count(4), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.bin_count(99), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(1.0, 100);
+        for i in 0..100 {
+            h.record(f64::from(i) + 0.5);
+        }
+        assert_eq!(h.quantile(0.5), Some(50.0));
+        assert_eq!(h.quantile(0.99), Some(99.0));
+        assert_eq!(Histogram::new(1.0, 10).quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_rejected() {
+        let _ = Histogram::new(1.0, 0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Welford mean/variance agree with the naive two-pass computation.
+        #[test]
+        fn prop_tally_matches_naive(values in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+            let mut t = Tally::new();
+            for &v in &values {
+                t.record(v);
+            }
+            let n = values.len() as f64;
+            let naive_mean = values.iter().sum::<f64>() / n;
+            let naive_var =
+                values.iter().map(|v| (v - naive_mean).powi(2)).sum::<f64>() / (n - 1.0);
+            prop_assert!((t.mean() - naive_mean).abs() < 1e-6 * naive_mean.abs().max(1.0));
+            prop_assert!((t.variance() - naive_var).abs() < 1e-5 * naive_var.abs().max(1.0));
+        }
+
+        /// Histogram conserves observations across bins + overflow.
+        #[test]
+        fn prop_histogram_conservation(values in proptest::collection::vec(0.0f64..1e4, 0..300)) {
+            let mut h = Histogram::new(7.0, 50);
+            for &v in &values {
+                h.record(v);
+            }
+            let binned: u64 = (0..50).map(|i| h.bin_count(i)).sum::<u64>() + h.overflow();
+            prop_assert_eq!(binned, values.len() as u64);
+            prop_assert_eq!(h.total(), values.len() as u64);
+        }
+    }
+}

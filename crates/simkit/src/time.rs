@@ -1,0 +1,246 @@
+//! Simulation time.
+//!
+//! All model parameters in the paper (seek times, per-page transfer times,
+//! instruction costs divided by MIPS rates) are naturally expressed in
+//! milliseconds, so [`SimTime`] stores milliseconds as an `f64`.  The type is a
+//! thin newtype that provides total ordering (simulation time is never NaN) and
+//! a few convenience conversions.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) simulation time, in milliseconds.
+///
+/// `SimTime` is used both for absolute timestamps and for durations; the
+/// arithmetic operators behave as expected for either interpretation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero (the start of every simulation run).
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time value from milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is NaN or negative; simulation time is totally ordered
+    /// and never moves backwards.
+    #[must_use]
+    pub fn from_millis(ms: f64) -> Self {
+        assert!(!ms.is_nan(), "simulation time must not be NaN");
+        assert!(ms >= 0.0, "simulation time must not be negative: {ms}");
+        SimTime(ms)
+    }
+
+    /// Creates a time value from seconds.
+    #[must_use]
+    pub fn from_secs(s: f64) -> Self {
+        Self::from_millis(s * 1_000.0)
+    }
+
+    /// Creates a time value from microseconds.
+    #[must_use]
+    pub fn from_micros(us: f64) -> Self {
+        Self::from_millis(us / 1_000.0)
+    }
+
+    /// The value in milliseconds.
+    #[must_use]
+    pub fn as_millis(self) -> f64 {
+        self.0
+    }
+
+    /// The value in seconds.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0 / 1_000.0
+    }
+
+    /// Returns the larger of two times.
+    #[must_use]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two times.
+    #[must_use]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Saturating subtraction: returns zero instead of a negative duration.
+    #[must_use]
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            SimTime(self.0 - other.0)
+        } else {
+            SimTime::ZERO
+        }
+    }
+
+    /// True if this is exactly time zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Construction forbids NaN, so a total order exists.
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        assert!(
+            self.0 >= rhs.0,
+            "SimTime subtraction would be negative ({} - {})",
+            self.0,
+            rhs.0
+        );
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime::from_millis(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimTime {
+    type Output = SimTime;
+    fn div(self, rhs: f64) -> SimTime {
+        SimTime::from_millis(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000.0 {
+            write!(f, "{:.3} s", self.as_secs())
+        } else {
+            write!(f, "{:.3} ms", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        let t = SimTime::from_secs(1.5);
+        assert_eq!(t.as_millis(), 1_500.0);
+        assert_eq!(t.as_secs(), 1.5);
+        assert_eq!(SimTime::from_micros(2_000.0).as_millis(), 2.0);
+        assert!(SimTime::ZERO.is_zero());
+        assert!(!t.is_zero());
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::from_millis(1.0);
+        let b = SimTime::from_millis(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_millis(10.0);
+        let b = SimTime::from_millis(4.0);
+        assert_eq!((a + b).as_millis(), 14.0);
+        assert_eq!((a - b).as_millis(), 6.0);
+        assert_eq!((a * 2.0).as_millis(), 20.0);
+        assert_eq!((a / 2.0).as_millis(), 5.0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_millis(), 14.0);
+        c -= b;
+        assert_eq!(c.as_millis(), 10.0);
+    }
+
+    #[test]
+    fn saturating_sub_clamps_at_zero() {
+        let a = SimTime::from_millis(1.0);
+        let b = SimTime::from_millis(5.0);
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+        assert_eq!(b.saturating_sub(a).as_millis(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_time_rejected() {
+        let _ = SimTime::from_millis(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "would be negative")]
+    fn underflowing_sub_rejected() {
+        let _ = SimTime::from_millis(1.0) - SimTime::from_millis(2.0);
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: SimTime = (1..=4).map(|i| SimTime::from_millis(f64::from(i))).sum();
+        assert_eq!(total.as_millis(), 10.0);
+    }
+
+    #[test]
+    fn display_switches_units() {
+        assert_eq!(format!("{}", SimTime::from_millis(12.5)), "12.500 ms");
+        assert_eq!(format!("{}", SimTime::from_secs(2.0)), "2.000 s");
+    }
+}

@@ -1,0 +1,38 @@
+//! `simpad` — a Rust re-implementation of the paper's SIMPAD simulator.
+//!
+//! SIMPAD ("Simulation of Parallel Databases") is the C++/CSIM simulation
+//! system the paper uses to evaluate MDHF data allocations on a Shared Disk
+//! parallel database system (§5).  This crate re-implements the described
+//! model on top of the [`simkit`] discrete-event engine:
+//!
+//! * **Hardware** — `d` disks with a track-based seek model and `p`
+//!   processing nodes with 50-MIPS CPUs, an idealised contention-free network
+//!   with size-proportional delays (Table 4),
+//! * **Database** — the star schema, its MDHF fragmentation, the bitmap-index
+//!   catalog and the physical disk allocation from the companion crates,
+//! * **Query processing** — a coordinator node per query that builds a task
+//!   list of per-fragment subqueries, assigns them round-robin to nodes with
+//!   at most `t` concurrent tasks per node, and collects partial aggregates;
+//!   each subquery reads its bitmap fragments (optionally in parallel on the
+//!   staggered disks), then alternates prefetch-granule fact I/O with CPU
+//!   processing (§4.3, §5),
+//! * **Buffering** — LRU buffer pools for fact and bitmap pages with
+//!   prefetching,
+//! * **Workload** — single-user streams as in the paper, plus a closed
+//!   multi-user extension.
+//!
+//! The top-level entry point is [`runner::run_experiment`], which executes a
+//! number of query instances of one type and reports response-time and
+//! utilisation statistics — the quantities plotted in Figures 3–6.
+
+pub mod config;
+pub mod engine;
+pub mod metrics;
+pub mod plan;
+pub mod runner;
+
+pub use config::{InstructionCosts, SimConfig};
+pub use engine::Engine;
+pub use metrics::{QueryMetrics, RunSummary};
+pub use plan::{plan_query, BitmapRead, QueryPlan, SubqueryWork};
+pub use runner::{run_experiment, ExperimentSetup};

@@ -1,0 +1,77 @@
+//! `warehouse` — facade crate for the MDHF parallel data-warehouse
+//! reproduction.
+//!
+//! This crate re-exports the public API of the whole workspace so that
+//! examples, integration tests and downstream users need a single dependency:
+//!
+//! * [`schema`] — star-schema metadata and the APB-1 benchmark schema,
+//! * [`bitmap`] — plain and hierarchically encoded bitmap join indices,
+//! * [`mdhf`] — the multi-dimensional hierarchical fragmentation itself:
+//!   query classification, thresholds, the analytic I/O cost model and the
+//!   fragmentation advisor,
+//! * [`allocation`] — round-robin / staggered physical disk allocation and
+//!   declustering analysis,
+//! * [`storage`] — disk service-time model and LRU buffer manager,
+//! * [`workload`] — APB-1-style query types and generators,
+//! * [`simpad`] — the Shared Disk discrete-event simulator,
+//! * [`simkit`] — the underlying simulation engine.
+//!
+//! # Quick start
+//!
+//! ```
+//! use warehouse::prelude::*;
+//!
+//! // The paper's APB-1 configuration: 1.87 billion fact rows.
+//! let schema = schema::apb1::apb1_schema();
+//!
+//! // The fragmentation used throughout the evaluation.
+//! let fragmentation =
+//!     Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+//! assert_eq!(fragmentation.fragment_count(), 11_520);
+//!
+//! // Classify a star query under it.
+//! let query = StarQuery::exact_match(&schema, "1MONTH1GROUP",
+//!                                    &["time::month", "product::group"]);
+//! let classification = mdhf::classify(&schema, &fragmentation, &query);
+//! assert_eq!(classification.fragments_to_process, 1);
+//! ```
+
+pub use allocation;
+pub use bitmap;
+pub use mdhf;
+pub use schema;
+pub use simkit;
+pub use simpad;
+pub use storage;
+pub use workload;
+
+/// Convenient glob-import of the most frequently used types.
+pub mod prelude {
+    pub use allocation::{BitmapPlacement, PhysicalAllocation};
+    pub use bitmap::{Bitmap, HierarchicalEncoding, IndexCatalog};
+    pub use mdhf::{
+        classify, Advisor, AdvisorConfig, CostModel, Fragmentation, IoClass, QueryClass,
+        StarQuery,
+    };
+    pub use schema::{self, StarSchema};
+    pub use simpad::{run_experiment, ExperimentSetup, SimConfig};
+    pub use workload::{BoundQuery, QueryGenerator, QueryType};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_exposes_a_working_pipeline() {
+        let schema = schema::apb1::apb1_schema();
+        let fragmentation =
+            Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+        let catalog = IndexCatalog::default_for(&schema);
+        let model = CostModel::new(schema.clone(), catalog);
+        let query = QueryType::OneStore.to_star_query(&schema);
+        let (classification, cost) = model.evaluate(&fragmentation, &query);
+        assert_eq!(classification.io_class, IoClass::Ioc2NoSupp);
+        assert!(cost.total_pages() > 1e6);
+    }
+}

@@ -1,0 +1,23 @@
+//! `workload` — APB-1-style star-query workload generation.
+//!
+//! The paper's query generator "creates a series of query structures that are
+//! passed to the processing module … For a single simulation, all queries are
+//! of the same type (e.g., 1STORE), but specific parameters are chosen at
+//! random (e.g., the actual STORE selected)" (§5).
+//!
+//! * [`queries::QueryType`] — the named query types used in the evaluation
+//!   (1STORE, 1MONTH, 1CODE, 1MONTH1GROUP, 1CODE1QUARTER, …) plus arbitrary
+//!   custom shapes,
+//! * [`bound::BoundQuery`] — a query *instance* with concrete attribute
+//!   values, able to compute exactly which fact fragments it touches under a
+//!   given fragmentation,
+//! * [`generator::QueryGenerator`] — reproducible random instantiation and
+//!   single-user / multi-user query streams.
+
+pub mod bound;
+pub mod generator;
+pub mod queries;
+
+pub use bound::BoundQuery;
+pub use generator::{QueryGenerator, QueryStream};
+pub use queries::QueryType;

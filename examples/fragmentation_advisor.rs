@@ -1,0 +1,83 @@
+//! Fragmentation advisor: apply the paper's §4.7 guidelines to a query mix.
+//!
+//! The advisor enumerates every candidate point fragmentation of the APB-1
+//! schema, discards the ones that violate the §4.4 thresholds (minimum
+//! bitmap-fragment size, maximum fragment count, maximum bitmaps, enough
+//! fragments for all disks), evaluates the analytic I/O cost of the rest for
+//! a weighted query mix and prints a ranked recommendation — the tool the
+//! paper suggests a database administrator would use.
+//!
+//! Run with `cargo run --release --example fragmentation_advisor -p mdhf-warehouse`.
+
+use warehouse::prelude::*;
+
+fn main() {
+    let schema = schema::apb1::apb1_schema();
+
+    // A query mix dominated by time/product analysis with occasional
+    // store-level drill-downs.
+    let mix: Vec<(StarQuery, f64)> = vec![
+        (QueryType::OneMonthOneGroup.to_star_query(&schema), 4.0),
+        (QueryType::OneMonth.to_star_query(&schema), 2.0),
+        (QueryType::OneCode.to_star_query(&schema), 2.0),
+        (QueryType::OneCodeOneQuarter.to_star_query(&schema), 2.0),
+        (QueryType::OneStore.to_star_query(&schema), 1.0),
+    ];
+
+    let advisor = Advisor::new(
+        schema.clone(),
+        AdvisorConfig {
+            top_k: 8,
+            restrict_to_query_dimensions: true,
+            ..AdvisorConfig::default()
+        },
+    );
+
+    println!("Advisor input mix:");
+    for (query, weight) in &mix {
+        println!("  weight {weight:>4}  {}", query.name());
+    }
+    println!();
+
+    let ranked = advisor.recommend(&mix, &[]);
+    println!("Top fragmentation candidates (admissible under the §4.4 thresholds):");
+    println!();
+    println!(
+        "{:>4}  {:<42} {:>12} {:>9} {:>16}",
+        "rank", "fragmentation", "#fragments", "bitmaps", "mix I/O [pages]"
+    );
+    for (rank, candidate) in ranked.iter().enumerate() {
+        println!(
+            "{:>4}  {:<42} {:>12} {:>9} {:>16.0}",
+            rank + 1,
+            candidate.fragmentation.describe(&schema),
+            candidate.fragments,
+            candidate.bitmaps_required,
+            candidate.total_pages
+        );
+    }
+
+    // Now favour the store-level query and see how the recommendation shifts
+    // towards fragmentations covering the CUSTOMER dimension.
+    let favoured = vec![QueryType::OneStore.to_star_query(&schema)];
+    let advisor_favoured = Advisor::new(
+        schema.clone(),
+        AdvisorConfig {
+            top_k: 5,
+            restrict_to_query_dimensions: false,
+            ..AdvisorConfig::default()
+        },
+    );
+    let ranked = advisor_favoured.recommend(&mix, &favoured);
+    println!();
+    println!("With 1STORE as a favoured query:");
+    for (rank, candidate) in ranked.iter().enumerate() {
+        println!(
+            "{:>4}  {:<42} {:>12} favoured I/O {:>14.0} pages",
+            rank + 1,
+            candidate.fragmentation.describe(&schema),
+            candidate.fragments,
+            candidate.favoured_pages
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Quickstart: fragment the APB-1 star schema, classify queries, estimate
+//! their I/O and simulate one of them.
+//!
+//! Run with `cargo run --release --example quickstart -p mdhf-warehouse`.
+
+use warehouse::prelude::*;
+
+fn main() {
+    // 1. The APB-1 star schema of the paper: SALES fact table with
+    //    1 866 240 000 rows and the PRODUCT / CUSTOMER / CHANNEL / TIME
+    //    dimensions.
+    let schema = schema::apb1::apb1_schema();
+    println!(
+        "APB-1 schema: {} fact rows ({:.1} GB), {} dimensions",
+        schema.fact_row_count(),
+        schema.fact_table_bytes() as f64 / 1e9,
+        schema.dimension_count()
+    );
+
+    // 2. Choose the paper's fragmentation F_MonthGroup = {time::month,
+    //    product::group}: 24 x 480 = 11 520 fragments.
+    let fragmentation =
+        Fragmentation::parse(&schema, &["time::month", "product::group"]).expect("valid attrs");
+    println!(
+        "Fragmentation {} -> {} fragments",
+        fragmentation.describe(&schema),
+        fragmentation.fragment_count()
+    );
+
+    // 3. The default bitmap-index catalog: encoded indices on PRODUCT and
+    //    CUSTOMER, simple ones on TIME and CHANNEL (76 bitmaps in total,
+    //    32 remaining under this fragmentation).
+    let catalog = IndexCatalog::default_for(&schema);
+    println!(
+        "Bitmaps: {} total, {} still needed under the fragmentation",
+        catalog.total_bitmaps(),
+        catalog.total_bitmaps_under_fragmentation(
+            &fragmentation
+                .attrs()
+                .iter()
+                .map(|a| (a.dimension, a.level))
+                .collect::<Vec<_>>()
+        )
+    );
+
+    // 4. Classify a few star queries under the fragmentation and estimate
+    //    their I/O with the analytic cost model.
+    let model = CostModel::new(schema.clone(), catalog);
+    println!();
+    println!("Query classification and analytic I/O estimates:");
+    for query_type in QueryType::standard_mix() {
+        let query = query_type.to_star_query(&schema);
+        let (classification, cost) = model.evaluate(&fragmentation, &query);
+        println!(
+            "  {:14} -> {:?} / {:?}, {} fragments, {:.0} MB I/O",
+            query.name(),
+            classification.query_class,
+            classification.io_class,
+            classification.fragments_to_process,
+            cost.total_megabytes(4_096)
+        );
+    }
+
+    // 5. Simulate the 1MONTH1GROUP query on a small Shared Disk configuration
+    //    (the full hardware sweeps live in the `bench` crate's binaries).
+    let config = SimConfig {
+        disks: 20,
+        nodes: 4,
+        subqueries_per_node: 4,
+        ..SimConfig::default()
+    };
+    let setup = ExperimentSetup::new(
+        schema,
+        fragmentation,
+        config,
+        QueryType::OneMonthOneGroup,
+        3,
+    );
+    let summary = run_experiment(&setup);
+    println!();
+    println!(
+        "Simulated 1MONTH1GROUP on {} disks / {} nodes: mean response {:.2} s over {} queries",
+        summary.disks,
+        summary.nodes,
+        summary.mean_response_secs(),
+        summary.queries.len()
+    );
+}

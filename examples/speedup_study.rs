@@ -1,0 +1,63 @@
+//! Speed-up study: a condensed version of the paper's Figure 3 / Figure 4
+//! experiments on a reduced hardware grid.
+//!
+//! Simulates the disk-bound 1STORE query and the CPU-bound 1MONTH query under
+//! `F_MonthGroup` for a few disk/processor combinations and prints response
+//! times and speed-ups.  The full Table 5 grid is produced by the `bench`
+//! crate binaries `fig3_speedup_1store` and `fig4_speedup_1month`.
+//!
+//! Run with `cargo run --release --example speedup_study -p mdhf-warehouse`.
+
+use warehouse::prelude::*;
+
+fn run(
+    schema: &StarSchema,
+    fragmentation: &Fragmentation,
+    disks: u64,
+    nodes: usize,
+    query_type: QueryType,
+) -> f64 {
+    let config = SimConfig::for_speedup_point(disks, nodes);
+    let setup = ExperimentSetup::new(
+        schema.clone(),
+        fragmentation.clone(),
+        config,
+        query_type,
+        1,
+    );
+    run_experiment(&setup).mean_response_secs()
+}
+
+fn main() {
+    let schema = schema::apb1::apb1_schema();
+    let fragmentation =
+        Fragmentation::parse(&schema, &["time::month", "product::group"]).expect("valid attrs");
+
+    // Disk-bound query: vary the number of disks at p = d/4.
+    println!("1STORE (disk-bound, not supported by the fragmentation):");
+    let mut baseline = None;
+    for disks in [20u64, 60, 100] {
+        let nodes = (disks / 4) as usize;
+        let secs = run(&schema, &fragmentation, disks, nodes, QueryType::OneStore);
+        let speedup = baseline.map_or(1.0, |b: f64| b / secs);
+        baseline.get_or_insert(secs);
+        println!("  d = {disks:>3}, p = {nodes:>2}: {secs:>8.1} s   speed-up {speedup:.2}");
+    }
+
+    // CPU-bound query: vary the number of processors at d = 60.
+    println!();
+    println!("1MONTH (CPU-bound, optimally supported by the fragmentation):");
+    let mut baseline = None;
+    for nodes in [3usize, 12, 30] {
+        let secs = run(&schema, &fragmentation, 60, nodes, QueryType::OneMonth);
+        let speedup = baseline.map_or(1.0, |b: f64| b / secs);
+        baseline.get_or_insert(secs);
+        println!("  d =  60, p = {nodes:>2}: {secs:>8.1} s   speed-up {speedup:.2}");
+    }
+
+    println!();
+    println!(
+        "Expected shape (paper, Figures 3 and 4): 1STORE scales with the number of \
+         disks, 1MONTH with the number of processors; both close to linearly."
+    );
+}

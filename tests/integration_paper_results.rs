@@ -1,0 +1,186 @@
+//! Paper-result regression tests: the headline numbers and qualitative
+//! findings of the paper, checked end to end.
+//!
+//! These are the invariants EXPERIMENTS.md reports; keeping them as tests
+//! guards the reproduction against regressions.
+
+use warehouse::mdhf::{table2_census, FragmentationConstraints};
+use warehouse::prelude::*;
+use warehouse::schema::PageSizing;
+
+/// §3.1 / Figure 1 — the APB-1 configuration.
+#[test]
+fn paper_schema_cardinalities() {
+    let schema = schema::apb1::apb1_schema();
+    assert_eq!(schema.fact_row_count(), 1_866_240_000);
+    assert_eq!(schema.attr("product", "code").unwrap().cardinality(&schema), 14_400);
+    assert_eq!(schema.attr("customer", "store").unwrap().cardinality(&schema), 1_440);
+    assert_eq!(schema.attr("time", "month").unwrap().cardinality(&schema), 24);
+    assert_eq!(schema.attr("channel", "channel").unwrap().cardinality(&schema), 15);
+}
+
+/// §3.2 / Table 1 — encoded bitmap join indices: 15 + 12 encoded bitmaps,
+/// 76 bitmaps in total, 10 prefix bitmaps to locate a product group.
+#[test]
+fn paper_bitmap_counts() {
+    let schema = schema::apb1::apb1_schema();
+    let catalog = IndexCatalog::default_for(&schema);
+    assert_eq!(catalog.total_bitmaps(), 76);
+    let product = schema.dimension_index("product").unwrap();
+    let customer = schema.dimension_index("customer").unwrap();
+    assert_eq!(catalog.spec(product).bitmap_count(), 15);
+    assert_eq!(catalog.spec(customer).bitmap_count(), 12);
+    assert_eq!(catalog.spec(product).bitmaps_for_selection(3), 10);
+    // §4.2: F_MonthGroup leaves at most 32 bitmaps.
+    let time = schema.dimension_index("time").unwrap();
+    assert_eq!(
+        catalog.total_bitmaps_under_fragmentation(&[(time, 2), (product, 3)]),
+        32
+    );
+}
+
+/// §4.1 — fragment counts of the fragmentations discussed in the paper.
+#[test]
+fn paper_fragment_counts() {
+    let schema = schema::apb1::apb1_schema();
+    for (spec, expected) in [
+        (vec!["time::month", "product::group"], 11_520u64),
+        (vec!["time::month", "product::class"], 23_040),
+        (vec!["time::month", "product::code"], 345_600),
+        (
+            vec!["time::quarter", "product::group", "customer::retailer", "channel::channel"],
+            8 * 480 * 144 * 15,
+        ),
+    ] {
+        let f = Fragmentation::parse(&schema, &spec).unwrap();
+        assert_eq!(f.fragment_count(), expected, "{spec:?}");
+    }
+}
+
+/// §4.4 — the n_max threshold and the Table 2 census shape.
+#[test]
+fn paper_thresholds_and_table2() {
+    let schema = schema::apb1::apb1_schema();
+    let sizing = PageSizing::new(&schema);
+    let constraints = FragmentationConstraints::default();
+    assert_eq!(constraints.n_max(&sizing), 14_238);
+
+    let rows = table2_census(&schema);
+    let total = rows.iter().find(|r| r.dimensions == 0).unwrap();
+    assert_eq!(total.any, 167);
+    // Roughly half the options survive the 1-page constraint, and only about
+    // a quarter the 8-page constraint (paper: 72 and 47 of 167).
+    assert!(total.at_least_1_page >= 65 && total.at_least_1_page <= 80);
+    assert!(total.at_least_8_pages >= 40 && total.at_least_8_pages <= 55);
+    let four_dim = rows.iter().find(|r| r.dimensions == 4).unwrap();
+    assert!(four_dim.at_least_1_page <= 1);
+}
+
+/// §4.5 / Table 3 — the analytic cost model reproduces the orders of
+/// magnitude for query 1STORE.
+#[test]
+fn paper_table3_orders_of_magnitude() {
+    let schema = schema::apb1::apb1_schema();
+    let catalog = IndexCatalog::default_for(&schema);
+    let model = CostModel::new(schema.clone(), catalog);
+    let query = StarQuery::exact_match(&schema, "1STORE", &["customer::store"]);
+
+    let f_opt = Fragmentation::parse(&schema, &["customer::store"]).unwrap();
+    let (c_opt, cost_opt) = model.evaluate(&f_opt, &query);
+    assert_eq!(c_opt.io_class, IoClass::Ioc1Opt);
+    assert_eq!(cost_opt.fragments_to_process, 1);
+    assert!((cost_opt.fact_io_ops - 795.0).abs() < 10.0);
+    assert!(cost_opt.total_megabytes(4_096) < 30.0);
+
+    let f_nosupp = Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+    let (c_nosupp, cost_nosupp) = model.evaluate(&f_nosupp, &query);
+    assert_eq!(c_nosupp.io_class, IoClass::Ioc2NoSupp);
+    assert_eq!(cost_nosupp.fragments_to_process, 11_520);
+    assert!((cost_nosupp.bitmap_pages_read - 691_200.0).abs() < 1.0);
+    assert!(cost_nosupp.total_megabytes(4_096) > 10_000.0);
+
+    let improvement = cost_nosupp.total_pages() / cost_opt.total_pages();
+    assert!(improvement > 500.0, "improvement only {improvement}x");
+}
+
+/// §4.6 — the gcd-clustering example: 1CODE on 100 disks reaches only 5 of
+/// them; a prime disk count or a gapped allocation fixes it.
+#[test]
+fn paper_gcd_clustering_example() {
+    use warehouse::allocation::{effective_parallelism, PhysicalAllocation};
+    let schema = schema::apb1::apb1_schema();
+    let fragmentation =
+        Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+    let bound = BoundQuery::new(&schema, QueryType::OneCode.to_star_query(&schema), vec![0]);
+    let fragments = bound.relevant_fragments(&schema, &fragmentation);
+    assert_eq!(
+        effective_parallelism(&PhysicalAllocation::round_robin(100), &fragments),
+        5
+    );
+    assert_eq!(
+        effective_parallelism(&PhysicalAllocation::round_robin(101), &fragments),
+        24
+    );
+    assert!(
+        effective_parallelism(&PhysicalAllocation::round_robin_with_gap(100, 1), &fragments) >= 20
+    );
+}
+
+/// §6.2 / Figure 5 — parallel bitmap I/O is at least as good as serial bitmap
+/// I/O, with a noticeable advantage at low subquery counts (checked on a
+/// reduced configuration to keep the test fast).
+#[test]
+fn paper_parallel_bitmap_io_helps() {
+    let schema = schema::apb1::apb1_schema();
+    let fragmentation =
+        Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+    let run = |parallel: bool| {
+        let config = SimConfig {
+            disks: 30,
+            nodes: 6,
+            subqueries_per_node: 1,
+            parallel_bitmap_io: parallel,
+            ..SimConfig::default()
+        };
+        let setup = ExperimentSetup::new(
+            schema.clone(),
+            fragmentation.clone(),
+            config,
+            QueryType::OneGroupOneStore,
+            1,
+        );
+        run_experiment(&setup).mean_response_ms
+    };
+    let parallel = run(true);
+    let serial = run(false);
+    assert!(
+        parallel < serial,
+        "parallel {parallel} ms should beat serial {serial} ms"
+    );
+}
+
+/// §6.3 / Figure 6 — the fragmentation trade-off: finer product fragmentation
+/// helps 1CODE1QUARTER (simulated) but hurts 1STORE (analytic model), so no
+/// single fragmentation wins for every query type.
+#[test]
+fn paper_fragmentation_tradeoff() {
+    let schema = schema::apb1::apb1_schema();
+    let catalog = IndexCatalog::default_for(&schema);
+    let model = CostModel::new(schema.clone(), catalog);
+
+    let store_query = QueryType::OneStore.to_star_query(&schema);
+    let cq_query = QueryType::OneCodeOneQuarter.to_star_query(&schema);
+    let group = Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+    let code = Fragmentation::parse(&schema, &["time::month", "product::code"]).unwrap();
+
+    // 1CODE1QUARTER: code fragmentation is better.
+    assert!(
+        model.evaluate(&code, &cq_query).1.total_pages()
+            < model.evaluate(&group, &cq_query).1.total_pages()
+    );
+    // 1STORE: code fragmentation is worse.
+    assert!(
+        model.evaluate(&code, &store_query).1.total_pages()
+            > model.evaluate(&group, &store_query).1.total_pages()
+    );
+}
