@@ -155,7 +155,10 @@ mod tests {
         let fact_total: f64 = report.per_disk().iter().map(|d| d.fact_bytes).sum();
         let bitmap_total: f64 = report.per_disk().iter().map(|d| d.bitmap_bytes).sum();
         assert!((fact_total - 37.3e9).abs() < 0.2e9, "{fact_total}");
-        assert!((bitmap_total - 32.0 * 233.28e6).abs() < 0.1e9, "{bitmap_total}");
+        assert!(
+            (bitmap_total - 32.0 * 233.28e6).abs() < 0.1e9,
+            "{bitmap_total}"
+        );
         // 11 520 fragments over 100 disks: near-perfect balance.
         assert!(report.imbalance() < 1.02, "{}", report.imbalance());
         // Each disk needs roughly (37.3 + 7.5) GB / 100 ≈ 450 MB.
@@ -174,8 +177,18 @@ mod tests {
         assert_eq!(total_fact, 11_520);
         assert_eq!(total_bitmap, 11_520 * 12);
         // 11 520 does not divide evenly by 100 — 20 disks get one extra fragment.
-        let max = report.per_disk().iter().map(|d| d.fact_fragments).max().unwrap();
-        let min = report.per_disk().iter().map(|d| d.fact_fragments).min().unwrap();
+        let max = report
+            .per_disk()
+            .iter()
+            .map(|d| d.fact_fragments)
+            .max()
+            .unwrap();
+        let min = report
+            .per_disk()
+            .iter()
+            .map(|d| d.fact_fragments)
+            .min()
+            .unwrap();
         assert_eq!(max - min, 1);
     }
 

@@ -146,8 +146,8 @@ mod tests {
         assert_eq!(a.bitmap_disk(3, 0), 4);
         assert_eq!(a.bitmap_disk(3, 5), 9);
         assert_eq!(a.bitmap_disk(3, 6), 0); // wraps around
-        // With 12 bitmaps on 10 disks, some disks receive two bitmap
-        // fragments but the subquery still spans all 10 disks.
+                                            // With 12 bitmaps on 10 disks, some disks receive two bitmap
+                                            // fragments but the subquery still spans all 10 disks.
         let disks = a.subquery_disks(3, 12);
         assert_eq!(disks.len(), 10);
     }
@@ -188,7 +188,11 @@ mod tests {
             d.len()
         };
         assert_eq!(distinct(&plain), 5);
-        assert!(distinct(&gapped) >= 20, "gapped spread: {}", distinct(&gapped));
+        assert!(
+            distinct(&gapped) >= 20,
+            "gapped spread: {}",
+            distinct(&gapped)
+        );
     }
 
     #[test]

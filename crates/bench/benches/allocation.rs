@@ -28,15 +28,24 @@ fn bench_parallelism_analysis(c: &mut Criterion) {
 
 fn bench_capacity_report(c: &mut Criterion) {
     let schema = schema::apb1::apb1_schema();
-    let fragmentation =
-        Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+    let fragmentation = Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
     let allocation = PhysicalAllocation::round_robin(100);
     c.bench_function("capacity_report_month_group_100_disks", |b| {
         b.iter(|| {
-            std::hint::black_box(CapacityReport::compute(&schema, &fragmentation, &allocation, 32))
+            std::hint::black_box(CapacityReport::compute(
+                &schema,
+                &fragmentation,
+                &allocation,
+                32,
+            ))
         })
     });
 }
 
-criterion_group!(benches, bench_disk_mapping, bench_parallelism_analysis, bench_capacity_report);
+criterion_group!(
+    benches,
+    bench_disk_mapping,
+    bench_parallelism_analysis,
+    bench_capacity_report
+);
 criterion_main!(benches);

@@ -9,8 +9,7 @@ fn bench_classification_and_cost(c: &mut Criterion) {
     let schema = schema::apb1::apb1_schema();
     let catalog = IndexCatalog::default_for(&schema);
     let model = CostModel::new(schema.clone(), catalog);
-    let fragmentation =
-        Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+    let fragmentation = Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
     let query = QueryType::OneCodeOneQuarter.to_star_query(&schema);
     c.bench_function("classify_query", |b| {
         b.iter(|| std::hint::black_box(classify(&schema, &fragmentation, &query)))
@@ -42,5 +41,10 @@ fn bench_advisor(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_classification_and_cost, bench_enumeration, bench_advisor);
+criterion_group!(
+    benches,
+    bench_classification_and_cost,
+    bench_enumeration,
+    bench_advisor
+);
 criterion_main!(benches);

@@ -18,8 +18,7 @@ fn small_config() -> SimConfig {
 fn bench_query_planning(c: &mut Criterion) {
     let schema = schema::apb1::apb1_schema();
     let catalog = IndexCatalog::default_for(&schema);
-    let fragmentation =
-        Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+    let fragmentation = Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
     let allocation = PhysicalAllocation::round_robin(20);
     let config = small_config();
     let bound = BoundQuery::new(
@@ -43,8 +42,7 @@ fn bench_query_planning(c: &mut Criterion) {
 
 fn bench_simulation_runs(c: &mut Criterion) {
     let schema = schema::apb1::apb1_schema();
-    let fragmentation =
-        Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+    let fragmentation = Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
     let mut group = c.benchmark_group("simulation");
     group.sample_size(10);
     group.bench_function("simulate_1month1group", |b| {

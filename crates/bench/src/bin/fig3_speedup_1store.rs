@@ -17,7 +17,11 @@ fn main() {
     let schema = paper_schema();
     let fragmentation = f_month_group(&schema);
     let queries = 1;
-    let divisors: &[u64] = if quick_mode() { &[4] } else { &[20, 10, 5, 4, 2] };
+    let divisors: &[u64] = if quick_mode() {
+        &[4]
+    } else {
+        &[20, 10, 5, 4, 2]
+    };
 
     println!("Figure 3: 1STORE under F_MonthGroup (t = d/p), single-user");
     println!();
@@ -31,7 +35,13 @@ fn main() {
         for d in [20u64, 60, 100] {
             let p = (d / divisor).max(1) as usize;
             let config = SimConfig::for_speedup_point(d, p);
-            let summary = run_point(&schema, &fragmentation, config, QueryType::OneStore, queries);
+            let summary = run_point(
+                &schema,
+                &fragmentation,
+                config,
+                QueryType::OneStore,
+                queries,
+            );
             let secs = summary.mean_response_secs();
             let speedup = baseline.map_or(1.0, |b| b / secs);
             if baseline.is_none() {

@@ -35,7 +35,13 @@ fn main() {
                 subqueries_per_node: 4,
                 ..SimConfig::for_speedup_point(d, p)
             };
-            let summary = run_point(&schema, &fragmentation, config, QueryType::OneMonth, queries);
+            let summary = run_point(
+                &schema,
+                &fragmentation,
+                config,
+                QueryType::OneMonth,
+                queries,
+            );
             let secs = summary.mean_response_secs();
             let speedup = baseline.map_or(1.0, |(p0, b)| b / secs * p0 as f64);
             if baseline.is_none() {
@@ -66,11 +72,14 @@ fn main() {
             subqueries_per_node: t,
             ..SimConfig::default()
         };
-        let summary = run_point(&schema, &fragmentation, config, QueryType::OneMonth, queries);
-        println!(
-            "  t = {t}: response {:.1} s",
-            summary.mean_response_secs()
+        let summary = run_point(
+            &schema,
+            &fragmentation,
+            config,
+            QueryType::OneMonth,
+            queries,
         );
+        println!("  t = {t}: response {:.1} s", summary.mean_response_secs());
     }
     println!();
     println!(

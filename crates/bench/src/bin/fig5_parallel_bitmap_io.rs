@@ -45,8 +45,13 @@ fn main() {
                 parallel_bitmap_io: parallel,
                 ..SimConfig::default()
             };
-            let summary =
-                run_point(&schema, &fragmentation, config, QueryType::OneStore, queries);
+            let summary = run_point(
+                &schema,
+                &fragmentation,
+                config,
+                QueryType::OneStore,
+                queries,
+            );
             results[idx] = summary.mean_response_secs();
         }
         let gain = (results[1] - results[0]) / results[1] * 100.0;

@@ -15,7 +15,9 @@
 //! `--quick` restricts 1STORE to `F_MonthGroup`/`F_MonthClass` and fewer
 //! parallelism points (the `F_MonthCode` runs simulate 345 600 subqueries).
 
-use bench_support::{month_product_fragmentation, paper_schema, quick_mode, run_point, EXPERIMENT3_FRAGMENTATIONS};
+use bench_support::{
+    month_product_fragmentation, paper_schema, quick_mode, run_point, EXPERIMENT3_FRAGMENTATIONS,
+};
 use warehouse::prelude::*;
 
 fn main() {
@@ -84,8 +86,7 @@ fn main() {
                 subqueries_per_node: t,
                 ..SimConfig::default()
             };
-            let summary =
-                run_point(&schema, &fragmentation, config, QueryType::OneStore, 1);
+            let summary = run_point(&schema, &fragmentation, config, QueryType::OneStore, 1);
             bench_support::print_row(
                 &[
                     (*name).to_string(),

@@ -10,7 +10,9 @@ use warehouse::prelude::*;
 
 fn main() {
     let schema = paper_schema();
-    let product_idx = schema.dimension_index("product").expect("product dimension");
+    let product_idx = schema
+        .dimension_index("product")
+        .expect("product dimension");
     let product = &schema.dimensions()[product_idx];
     let hierarchy = product.hierarchy();
     let encoding = HierarchicalEncoding::for_hierarchy(hierarchy);
@@ -54,7 +56,9 @@ fn main() {
     );
 
     // The CUSTOMER dimension for completeness (12 bitmaps in the paper).
-    let customer_idx = schema.dimension_index("customer").expect("customer dimension");
+    let customer_idx = schema
+        .dimension_index("customer")
+        .expect("customer dimension");
     let customer_enc =
         HierarchicalEncoding::for_hierarchy(schema.dimensions()[customer_idx].hierarchy());
     println!(

@@ -33,7 +33,11 @@ fn main() {
             .iter()
             .find(|r| r.dimensions == dims)
             .expect("census row exists");
-        let label = if dims == 0 { "total".to_string() } else { dims.to_string() };
+        let label = if dims == 0 {
+            "total".to_string()
+        } else {
+            dims.to_string()
+        };
         bench_support::print_row(
             &[
                 label,

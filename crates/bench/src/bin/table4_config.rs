@@ -17,38 +17,89 @@ fn main() {
         "  settle + controller delay     {} ms per access",
         c.disk.settle_controller_ms
     );
-    println!("  transfer                      {} ms per page", c.disk.per_page_ms);
+    println!(
+        "  transfer                      {} ms per page",
+        c.disk.per_page_ms
+    );
     println!();
     println!("processing nodes");
     println!("  number (p)                    {}", c.nodes);
     println!("  CPU speed                     {} MIPS", c.cpu_mips);
-    println!("  subqueries per node (t)       {} (variable)", c.subqueries_per_node);
+    println!(
+        "  subqueries per node (t)       {} (variable)",
+        c.subqueries_per_node
+    );
     println!();
     println!("no. of instructions");
-    println!("  initiate/plan query           {}", c.instructions.initiate_query);
-    println!("  terminate query               {}", c.instructions.terminate_query);
-    println!("  initiate/plan subquery        {}", c.instructions.initiate_subquery);
-    println!("  terminate subquery            {}", c.instructions.terminate_subquery);
-    println!("  read page                     {}", c.instructions.read_page);
-    println!("  process bitmap page           {}", c.instructions.process_bitmap_page);
-    println!("  extract table row             {}", c.instructions.extract_row);
-    println!("  aggregate table row           {}", c.instructions.aggregate_row);
-    println!("  send message                  {} + #B", c.instructions.send_message);
-    println!("  receive message               {} + #B", c.instructions.receive_message);
+    println!(
+        "  initiate/plan query           {}",
+        c.instructions.initiate_query
+    );
+    println!(
+        "  terminate query               {}",
+        c.instructions.terminate_query
+    );
+    println!(
+        "  initiate/plan subquery        {}",
+        c.instructions.initiate_subquery
+    );
+    println!(
+        "  terminate subquery            {}",
+        c.instructions.terminate_subquery
+    );
+    println!(
+        "  read page                     {}",
+        c.instructions.read_page
+    );
+    println!(
+        "  process bitmap page           {}",
+        c.instructions.process_bitmap_page
+    );
+    println!(
+        "  extract table row             {}",
+        c.instructions.extract_row
+    );
+    println!(
+        "  aggregate table row           {}",
+        c.instructions.aggregate_row
+    );
+    println!(
+        "  send message                  {} + #B",
+        c.instructions.send_message
+    );
+    println!(
+        "  receive message               {} + #B",
+        c.instructions.receive_message
+    );
     println!();
     println!("buffer manager");
     println!("  page size                     {} B", c.page_size);
-    println!("  buffer size fact table        {} pages", c.fact_buffer_pages);
-    println!("  buffer size bitmaps           {} pages", c.bitmap_buffer_pages);
-    println!("  prefetch size fact table      {} pages", c.fact_prefetch_pages);
-    println!("  prefetch size bitmaps         {} pages", c.bitmap_prefetch_pages);
+    println!(
+        "  buffer size fact table        {} pages",
+        c.fact_buffer_pages
+    );
+    println!(
+        "  buffer size bitmaps           {} pages",
+        c.bitmap_buffer_pages
+    );
+    println!(
+        "  prefetch size fact table      {} pages",
+        c.fact_prefetch_pages
+    );
+    println!(
+        "  prefetch size bitmaps         {} pages",
+        c.bitmap_prefetch_pages
+    );
     println!();
     println!("network");
     println!(
         "  connection speed              {} Mbit/s",
         c.network_bits_per_sec / 1e6
     );
-    println!("  message size (small)          {} B", c.small_message_bytes);
+    println!(
+        "  message size (small)          {} B",
+        c.small_message_bytes
+    );
     println!("  message size (large)          1 page ({} B)", c.page_size);
     println!();
     println!("Table 5: Hardware parameters for speed-up experiments (d, p):");

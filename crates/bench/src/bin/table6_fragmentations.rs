@@ -40,7 +40,11 @@ fn main() {
                 f.fragment_count().to_string(),
                 format!("{pages:.2} ({whole})"),
                 report.bitmaps_required.to_string(),
-                if report.is_admissible() { "yes".into() } else { "NO".into() },
+                if report.is_admissible() {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ],
             &[14, 12, 20, 13, 11],
         );

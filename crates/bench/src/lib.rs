@@ -73,7 +73,10 @@ pub fn print_row(cells: &[String], widths: &[usize]) {
 
 /// Prints a table header followed by a separator line.
 pub fn print_header(cells: &[&str], widths: &[usize]) {
-    print_row(&cells.iter().map(|c| (*c).to_string()).collect::<Vec<_>>(), widths);
+    print_row(
+        &cells.iter().map(|c| (*c).to_string()).collect::<Vec<_>>(),
+        widths,
+    );
     let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
     println!("|-{}-|", sep.join("-|-"));
 }

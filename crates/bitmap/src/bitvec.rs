@@ -76,7 +76,11 @@ impl Bitmap {
     /// Panics if `idx` is out of range.
     #[must_use]
     pub fn get(&self, idx: usize) -> bool {
-        assert!(idx < self.len, "bit index {idx} out of range ({})", self.len);
+        assert!(
+            idx < self.len,
+            "bit index {idx} out of range ({})",
+            self.len
+        );
         (self.words[idx / 64] >> (idx % 64)) & 1 == 1
     }
 
@@ -86,7 +90,11 @@ impl Bitmap {
     ///
     /// Panics if `idx` is out of range.
     pub fn set(&mut self, idx: usize, value: bool) {
-        assert!(idx < self.len, "bit index {idx} out of range ({})", self.len);
+        assert!(
+            idx < self.len,
+            "bit index {idx} out of range ({})",
+            self.len
+        );
         let mask = 1u64 << (idx % 64);
         if value {
             self.words[idx / 64] |= mask;
@@ -318,14 +326,13 @@ mod prop_tests {
     use proptest::prelude::*;
 
     fn arb_bitmap(len: usize) -> impl Strategy<Value = Bitmap> {
-        proptest::collection::vec(proptest::bool::ANY, len)
-            .prop_map(move |bits| {
-                let mut b = Bitmap::new(len);
-                for (i, bit) in bits.into_iter().enumerate() {
-                    b.set(i, bit);
-                }
-                b
-            })
+        proptest::collection::vec(proptest::bool::ANY, len).prop_map(move |bits| {
+            let mut b = Bitmap::new(len);
+            for (i, bit) in bits.into_iter().enumerate() {
+                b.set(i, bit);
+            }
+            b
+        })
     }
 
     proptest! {

@@ -54,7 +54,11 @@ impl MaterialisedFactTable {
             combos <= 50_000_000,
             "refusing to materialise {combos} combinations; use a scaled-down schema"
         );
-        let cards: Vec<u64> = schema.dimensions().iter().map(|d| d.cardinality()).collect();
+        let cards: Vec<u64> = schema
+            .dimensions()
+            .iter()
+            .map(|d| d.cardinality())
+            .collect();
         let density = schema.fact().density();
         let measures = schema.fact().measures().len().max(1);
         let mut rows = Vec::new();
@@ -185,10 +189,10 @@ impl MaterialisedIndex {
                 encoded_bitmaps = vec![Bitmap::new(n); total];
                 for (row_idx, row) in table.rows().iter().enumerate() {
                     let pattern = enc.encode_leaf(row.keys[dimension]);
-                    for bit in 0..total {
+                    for (bit, bitmap) in encoded_bitmaps.iter_mut().enumerate() {
                         let shift = total - 1 - bit;
                         if (pattern >> shift) & 1 == 1 {
-                            encoded_bitmaps[bit].set(row_idx, true);
+                            bitmap.set(row_idx, true);
                         }
                     }
                 }
@@ -254,9 +258,7 @@ impl MaterialisedIndex {
                 .simple_bitmaps
                 .get(&(level, value))
                 .cloned()
-                .unwrap_or_else(|| {
-                    panic!("no bitmap for level {level} value {value}")
-                }),
+                .unwrap_or_else(|| panic!("no bitmap for level {level} value {value}")),
             BitmapIndexKind::Encoded(_) => {
                 let enc = self.encoding.as_ref().expect("encoded index has encoding");
                 let n = self
@@ -326,7 +328,12 @@ mod tests {
     use super::*;
     use schema::apb1::apb1_scaled_down;
 
-    fn setup() -> (StarSchema, MaterialisedFactTable, IndexCatalog, Vec<MaterialisedIndex>) {
+    fn setup() -> (
+        StarSchema,
+        MaterialisedFactTable,
+        IndexCatalog,
+        Vec<MaterialisedIndex>,
+    ) {
         let schema = apb1_scaled_down();
         let table = MaterialisedFactTable::generate(&schema, 42);
         let catalog = IndexCatalog::default_for(&schema);
@@ -377,8 +384,10 @@ mod tests {
         let hierarchy = schema.dimensions()[product].hierarchy();
         let leaf_level = hierarchy.finest_level();
         for value in [0u64, 7, 59, 119] {
-            let bitmap_rows: Vec<usize> =
-                indices[product].select(leaf_level, value).iter_ones().collect();
+            let bitmap_rows: Vec<usize> = indices[product]
+                .select(leaf_level, value)
+                .iter_ones()
+                .collect();
             let mut preds = vec![None, None, None, None];
             preds[product] = Some(value..value + 1);
             let scan_rows = table.scan(&preds);
@@ -446,7 +455,9 @@ mod tests {
                 idx.materialised_bitmap_count() as u64,
                 catalog.spec(idx.dimension()).bitmap_count()
             );
-            let finest = schema.dimensions()[idx.dimension()].hierarchy().finest_level();
+            let finest = schema.dimensions()[idx.dimension()]
+                .hierarchy()
+                .finest_level();
             assert_eq!(
                 idx.bitmaps_read_for_selection(finest),
                 catalog.spec(idx.dimension()).bitmaps_for_selection(finest)

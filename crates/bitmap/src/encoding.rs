@@ -244,7 +244,9 @@ mod tests {
     fn decode_rejects_invalid_code_points() {
         let e = product_encoding();
         // Line ordinal 3 is invalid (fan-out 3 → ordinals 0..2).
-        // Pattern: division 0, line bits = 0b11, rest zero.
+        // Pattern: division 0, line bits = 0b11, rest zero. The digit groups
+        // mirror the per-level bit widths (3|2|3|2|1|4), not uniform nibbles.
+        #[allow(clippy::unusual_byte_groupings)]
         let invalid = 0b000_11_000_00_0_0000u64;
         assert_eq!(e.decode_leaf(invalid), None);
         // Extra high bits beyond 15 are invalid.

@@ -263,10 +263,7 @@ mod tests {
         // - time is fragmented at its finest level, so all 34 TIME bitmaps go;
         // - product at group level saves the 10 prefix bitmaps.
         let frag = [(td, 2), (pd, 3)];
-        assert_eq!(
-            catalog.spec(td).bitmaps_eliminated_by_fragmentation(2),
-            34
-        );
+        assert_eq!(catalog.spec(td).bitmaps_eliminated_by_fragmentation(2), 34);
         assert_eq!(catalog.spec(pd).bitmaps_eliminated_by_fragmentation(3), 10);
         assert_eq!(catalog.spec(pd).bitmaps_remaining_under_fragmentation(3), 5);
         // "for F_MonthGroup at most 32 bitmaps are thus to be maintained"

@@ -128,8 +128,7 @@ impl Advisor {
             })
             .filter_map(|f| {
                 // Step 1: thresholds.
-                let report =
-                    check_fragmentation(schema, &catalog, &self.config.constraints, &f);
+                let report = check_fragmentation(schema, &catalog, &self.config.constraints, &f);
                 if !report.is_admissible() {
                     return None;
                 }
@@ -170,8 +169,14 @@ mod tests {
                 StarQuery::exact_match(schema, "1MONTH1GROUP", &["time::month", "product::group"]),
                 1.0,
             ),
-            (StarQuery::exact_match(schema, "1MONTH", &["time::month"]), 1.0),
-            (StarQuery::exact_match(schema, "1CODE", &["product::code"]), 1.0),
+            (
+                StarQuery::exact_match(schema, "1MONTH", &["time::month"]),
+                1.0,
+            ),
+            (
+                StarQuery::exact_match(schema, "1CODE", &["product::code"]),
+                1.0,
+            ),
             (
                 StarQuery::exact_match(
                     schema,

@@ -134,8 +134,7 @@ pub fn classify(
             }
         }
     }
-    let fragments_to_process = (fragments.round() as u64)
-        .clamp(1, fragmentation.fragment_count());
+    let fragments_to_process = (fragments.round() as u64).clamp(1, fragmentation.fragment_count());
 
     let query_class = if !references_frag_dim {
         QueryClass::Unsupported

@@ -211,11 +211,7 @@ impl CostModel {
         let (bitmap_io_ops, bitmap_pages_read) = if bitmaps_per_fragment == 0 {
             (0.0, 0.0)
         } else {
-            let bitmap_frag_pages = self
-                .sizing
-                .bitmap_fragment_pages(n)
-                .ceil()
-                .max(1.0);
+            let bitmap_frag_pages = self.sizing.bitmap_fragment_pages(n).ceil().max(1.0);
             let ops_per_bitmap_frag =
                 (bitmap_frag_pages / self.params.bitmap_prefetch_pages as f64).ceil();
             let ops = frags_q as f64 * bitmaps_per_fragment as f64 * ops_per_bitmap_frag;
@@ -237,11 +233,7 @@ impl CostModel {
     /// Total I/O pages for a weighted query mix — the aggregate the §4.7
     /// guidelines minimise when no query type is favoured.
     #[must_use]
-    pub fn mix_total_pages(
-        &self,
-        fragmentation: &Fragmentation,
-        mix: &[(StarQuery, f64)],
-    ) -> f64 {
+    pub fn mix_total_pages(&self, fragmentation: &Fragmentation, mix: &[(StarQuery, f64)]) -> f64 {
         mix.iter()
             .map(|(q, weight)| {
                 let (_, cost) = self.evaluate(fragmentation, q);
@@ -274,7 +266,11 @@ mod tests {
         assert!(c.needs_no_bitmaps());
         assert!((cost.expected_hits - 1_296_000.0).abs() < 1.0);
         // ~6 328 pages read in ~791 prefetch operations of 8 pages.
-        assert!((cost.fact_io_ops - 791.0).abs() < 10.0, "{}", cost.fact_io_ops);
+        assert!(
+            (cost.fact_io_ops - 791.0).abs() < 10.0,
+            "{}",
+            cost.fact_io_ops
+        );
         assert_eq!(cost.bitmap_io_ops, 0.0);
         assert_eq!(cost.bitmap_pages_read, 0.0);
         let mb = cost.total_megabytes(4_096);
@@ -298,8 +294,11 @@ mod tests {
         // — exactly the paper's figure.
         assert!((cost.bitmap_pages_read - 691_200.0).abs() < 1.0);
         // Fact I/O in the millions of pages (paper: 5 189 760).
-        assert!(cost.fact_pages_read > 3e6 && cost.fact_pages_read < 9e6,
-                "{}", cost.fact_pages_read);
+        assert!(
+            cost.fact_pages_read > 3e6 && cost.fact_pages_read < 9e6,
+            "{}",
+            cost.fact_pages_read
+        );
         // Total I/O volume in the tens of GB (paper: 31 075 MB).
         let mb = cost.total_megabytes(4_096);
         assert!(mb > 15_000.0 && mb < 45_000.0, "total {mb} MB");
@@ -365,8 +364,7 @@ mod tests {
         ];
         let mut totals = Vec::new();
         for (_, product_level) in fragmentations {
-            let f =
-                Fragmentation::parse(m.schema(), &["time::month", product_level]).unwrap();
+            let f = Fragmentation::parse(m.schema(), &["time::month", product_level]).unwrap();
             let (c, cost) = m.evaluate(&f, &q);
             assert_eq!(cost.fragments_to_process, 3, "{product_level}");
             if product_level == "product::code" {
@@ -390,8 +388,7 @@ mod tests {
         let q = StarQuery::exact_match(m.schema(), "1STORE", &["customer::store"]);
         let mut totals = Vec::new();
         for product_level in ["product::group", "product::class", "product::code"] {
-            let f =
-                Fragmentation::parse(m.schema(), &["time::month", product_level]).unwrap();
+            let f = Fragmentation::parse(m.schema(), &["time::month", product_level]).unwrap();
             let (_, cost) = m.evaluate(&f, &q);
             totals.push((cost.total_pages(), cost.bitmap_pages_read));
         }

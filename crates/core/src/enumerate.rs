@@ -197,8 +197,14 @@ mod tests {
             let row = by_dim(dims);
             assert_eq!(row.any, any, "dims {dims}: unconstrained count");
             assert!(close(row.at_least_1_page, p1, dims), "dims {dims}: {row:?}");
-            assert!(close(row.at_least_4_pages, p4, dims), "dims {dims}: {row:?}");
-            assert!(close(row.at_least_8_pages, p8, dims), "dims {dims}: {row:?}");
+            assert!(
+                close(row.at_least_4_pages, p4, dims),
+                "dims {dims}: {row:?}"
+            );
+            assert!(
+                close(row.at_least_8_pages, p8, dims),
+                "dims {dims}: {row:?}"
+            );
         }
         // The qualitative message of Table 2 holds exactly: the constraint
         // removes ~½ to ~¾ of the options, and of the 36 four-dimensional

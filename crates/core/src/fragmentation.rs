@@ -115,13 +115,19 @@ impl Fragmentation {
     /// attributes' cardinalities.
     #[must_use]
     pub fn fragment_count(&self) -> u64 {
-        self.cardinalities.iter().product()
+        self.cardinalities
+            .iter()
+            .try_fold(1u64, |acc, &c| acc.checked_mul(c))
+            .expect("fragment count overflows u64")
     }
 
     /// Returns the fragmentation attribute covering `dimension`, if any.
     #[must_use]
     pub fn attr_for_dimension(&self, dimension: usize) -> Option<AttrRef> {
-        self.attrs.iter().copied().find(|a| a.dimension == dimension)
+        self.attrs
+            .iter()
+            .copied()
+            .find(|a| a.dimension == dimension)
     }
 
     /// True if `dimension` is a fragmentation dimension.

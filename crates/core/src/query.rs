@@ -102,8 +102,9 @@ impl StarQuery {
         let predicates = attrs
             .iter()
             .map(|s| {
-                let level_ref: schema::LevelRef =
-                    s.parse().unwrap_or_else(|e| panic!("bad attribute {s:?}: {e}"));
+                let level_ref: schema::LevelRef = s
+                    .parse()
+                    .unwrap_or_else(|e| panic!("bad attribute {s:?}: {e}"));
                 Predicate::exact(
                     level_ref
                         .resolve(schema)
@@ -172,9 +173,7 @@ mod tests {
 
         let one_month_one_group =
             StarQuery::exact_match(&s, "1MONTH1GROUP", &["time::month", "product::group"]);
-        assert!(
-            (one_month_one_group.selectivity(&s) - 1.0 / (24.0 * 480.0)).abs() < 1e-15
-        );
+        assert!((one_month_one_group.selectivity(&s) - 1.0 / (24.0 * 480.0)).abs() < 1e-15);
 
         let one_code_one_quarter =
             StarQuery::exact_match(&s, "1CODE1QUARTER", &["product::code", "time::quarter"]);
@@ -187,8 +186,7 @@ mod tests {
         // §6.3: "1STORE has about 80 times more hit tuples than 1CODE1QUARTER".
         let s = apb1_schema();
         let one_store = StarQuery::exact_match(&s, "1STORE", &["customer::store"]);
-        let ocoq =
-            StarQuery::exact_match(&s, "1CODE1QUARTER", &["product::code", "time::quarter"]);
+        let ocoq = StarQuery::exact_match(&s, "1CODE1QUARTER", &["product::code", "time::quarter"]);
         let ratio = one_store.expected_hits(&s) / ocoq.expected_hits(&s);
         assert!((ratio - 80.0).abs() < 1.0, "ratio {ratio}");
     }

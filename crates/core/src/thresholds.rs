@@ -129,8 +129,7 @@ pub fn check_fragmentation(
         fragments,
         bitmap_fragment_pages,
         bitmaps_required,
-        violates_min_bitmap_fragment: bitmap_fragment_pages
-            < constraints.min_bitmap_fragment_pages,
+        violates_min_bitmap_fragment: bitmap_fragment_pages < constraints.min_bitmap_fragment_pages,
         violates_max_fragments: fragments > constraints.max_fragments,
         violates_max_bitmaps: bitmaps_required > constraints.max_bitmaps,
         violates_min_parallelism: fragments < constraints.disks,

@@ -96,7 +96,11 @@ impl Apb1Config {
         let product = build_product_hierarchy(self.product_codes);
 
         // CUSTOMER: retailer → store with 10 stores per retailer.
-        let stores_per_retailer = if self.stores.is_multiple_of(10) { 10 } else { self.stores };
+        let stores_per_retailer = if self.stores.is_multiple_of(10) {
+            10
+        } else {
+            self.stores
+        };
         let retailers = self.stores / stores_per_retailer;
         let customer = Dimension::new(
             "customer",

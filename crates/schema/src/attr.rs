@@ -132,7 +132,10 @@ impl fmt::Display for ParseAttrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseAttrError::Malformed(s) => {
-                write!(f, "malformed attribute reference {s:?} (expected dimension::level)")
+                write!(
+                    f,
+                    "malformed attribute reference {s:?} (expected dimension::level)"
+                )
             }
             ParseAttrError::UnknownDimension(d) => write!(f, "unknown dimension {d:?}"),
             ParseAttrError::UnknownLevel { dimension, level } => {
@@ -199,9 +202,13 @@ mod tests {
         assert_eq!(a.cardinality(&schema), 480);
         assert_eq!(a.display(&schema), "product::group");
 
-        let err = LevelRef::new("vendor", "code").resolve(&schema).unwrap_err();
+        let err = LevelRef::new("vendor", "code")
+            .resolve(&schema)
+            .unwrap_err();
         assert!(matches!(err, ParseAttrError::UnknownDimension(_)));
-        let err = LevelRef::new("product", "week").resolve(&schema).unwrap_err();
+        let err = LevelRef::new("product", "week")
+            .resolve(&schema)
+            .unwrap_err();
         assert!(matches!(err, ParseAttrError::UnknownLevel { .. }));
         assert!(!err.to_string().is_empty());
     }

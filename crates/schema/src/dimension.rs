@@ -123,10 +123,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "row size must be positive")]
     fn zero_row_size_rejected() {
-        let _ = Dimension::with_row_size(
-            "x",
-            Hierarchy::from_fanouts(&[("only", 3)]),
-            0,
-        );
+        let _ = Dimension::with_row_size("x", Hierarchy::from_fanouts(&[("only", 3)]), 0);
     }
 }

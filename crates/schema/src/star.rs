@@ -186,7 +186,11 @@ impl StarSchema {
     /// of the leaf cardinalities of all dimensions.
     #[must_use]
     pub fn max_fact_combinations(&self) -> u64 {
-        self.dimensions.iter().map(Dimension::cardinality).product()
+        self.dimensions
+            .iter()
+            .map(Dimension::cardinality)
+            .try_fold(1u64, u64::checked_mul)
+            .expect("dimension cardinality product overflows u64")
     }
 
     /// The number of fact rows: density × product of dimension cardinalities.
@@ -199,21 +203,27 @@ impl StarSchema {
     /// Total fact-table size in bytes.
     #[must_use]
     pub fn fact_table_bytes(&self) -> u64 {
-        self.fact_row_count() * self.fact.tuple_size_bytes()
+        self.fact_row_count()
+            .checked_mul(self.fact.tuple_size_bytes())
+            .expect("fact table size overflows u64")
     }
 
     /// Combined size of all (denormalised) dimension tables in bytes.
     #[must_use]
     pub fn dimension_tables_bytes(&self) -> u64 {
-        self.dimensions.iter().map(Dimension::table_size_bytes).sum()
+        self.dimensions
+            .iter()
+            .map(Dimension::table_size_bytes)
+            .sum()
     }
 
     /// Iterates over all `(dimension index, level index)` attribute
     /// references of the schema, dimension by dimension, coarsest level first.
     pub fn all_attrs(&self) -> impl Iterator<Item = AttrRef> + '_ {
-        self.dimensions.iter().enumerate().flat_map(|(d, dim)| {
-            (0..dim.hierarchy().depth()).map(move |l| AttrRef::new(d, l))
-        })
+        self.dimensions
+            .iter()
+            .enumerate()
+            .flat_map(|(d, dim)| (0..dim.hierarchy().depth()).map(move |l| AttrRef::new(d, l)))
     }
 }
 

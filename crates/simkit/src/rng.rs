@@ -5,13 +5,14 @@
 //! draws from its own [`RngStream`], derived from a master seed plus a stream
 //! identifier — the classic CSIM "stream" idiom.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 /// A named, seeded random stream.
+///
+/// Implemented as a self-contained xoshiro256++ generator (seeded through
+/// SplitMix64) so the simulator has no external RNG dependency and sequences
+/// are stable across toolchain upgrades.
 #[derive(Debug, Clone)]
 pub struct RngStream {
-    rng: StdRng,
+    state: [u64; 4],
     seed: u64,
     stream: u64,
 }
@@ -24,17 +25,41 @@ impl RngStream {
     #[must_use]
     pub fn new(seed: u64, stream: u64) -> Self {
         // SplitMix64-style mixing so that consecutive stream ids do not yield
-        // correlated StdRng seeds.
-        let mut z = seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
+        // correlated generator states.
+        let mut z =
+            seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+        let mut next_word = move || {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut w = z;
+            w = (w ^ (w >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            w = (w ^ (w >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            w ^ (w >> 31)
+        };
         RngStream {
-            rng: StdRng::seed_from_u64(z),
+            state: [next_word(), next_word(), next_word(), next_word()],
             seed,
             stream,
         }
+    }
+
+    /// Next raw 64-bit value (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        // Canonical xoshiro256++ transition: s1/s0 mix in the already-updated
+        // s2/s3 words (s1 ^= s2 ^ s0, s0 ^= s3 ^ s1).
+        let s2x = s2 ^ s0;
+        let s3x = s3 ^ s1;
+        let s1n = s1 ^ s2x;
+        let s0n = s0 ^ s3x;
+        self.state = [s0n, s1n, s2x ^ t, s3x.rotate_left(45)];
+        result
+    }
+
+    /// Uniform float in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// The master seed this stream was derived from.
@@ -56,33 +81,45 @@ impl RngStream {
     /// Panics if `bound` is zero.
     pub fn uniform_index(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "uniform_index bound must be positive");
-        self.rng.gen_range(0..bound)
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - u64::MAX % bound;
+        loop {
+            let x = self.next_u64();
+            if x < zone {
+                return x % bound;
+            }
+        }
     }
 
     /// Uniform float in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(hi > lo, "uniform range must be non-empty");
-        self.rng.gen_range(lo..hi)
+        let v = lo + (hi - lo) * self.unit();
+        if v >= hi {
+            lo
+        } else {
+            v
+        }
     }
 
     /// Exponentially distributed value with the given mean.
     pub fn exponential(&mut self, mean: f64) -> f64 {
         assert!(mean > 0.0, "exponential mean must be positive");
-        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u = self.unit().max(f64::EPSILON);
         -mean * u.ln()
     }
 
     /// Bernoulli trial with probability `p`.
     pub fn bernoulli(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
-        self.rng.gen_bool(p)
+        self.unit() < p
     }
 
     /// Random permutation of `0..n` (Fisher–Yates).
     pub fn permutation(&mut self, n: usize) -> Vec<usize> {
         let mut out: Vec<usize> = (0..n).collect();
         for i in (1..n).rev() {
-            let j = self.rng.gen_range(0..=i);
+            let j = usize::try_from(self.uniform_index(i as u64 + 1)).expect("index fits usize");
             out.swap(i, j);
         }
         out

@@ -197,7 +197,8 @@ impl Engine {
         for q in 0..initial {
             let state = self.new_query_state();
             self.queries.push(state);
-            self.events.schedule(SimTime::ZERO, Event::QueryArrive { query: q });
+            self.events
+                .schedule(SimTime::ZERO, Event::QueryArrive { query: q });
         }
         self.next_query_to_start = initial;
         // Remaining queries get their state created lazily when they start.
@@ -319,11 +320,14 @@ impl Engine {
 
             // Coordinator sends the assignment message.
             let coordinator = self.queries[query].coordinator;
-            let send = self.config.send_instructions(self.config.small_message_bytes);
+            let send = self
+                .config
+                .send_instructions(self.config.small_message_bytes);
             let sent_at = self.cpu_burst(coordinator, now, send);
             let arrive = sent_at
                 + SimTime::from_millis(self.config.network_ms(self.config.small_message_bytes));
-            self.events.schedule(arrive, Event::SubqueryMessage { sq: sq_id });
+            self.events
+                .schedule(arrive, Event::SubqueryMessage { sq: sq_id });
         }
     }
 
@@ -428,8 +432,8 @@ impl Engine {
         let work = self.work(sq);
         let pages = work.bitmap_pages;
         let node = self.subqueries[sq].node;
-        let instr =
-            pages * (self.config.instructions.read_page + self.config.instructions.process_bitmap_page);
+        let instr = pages
+            * (self.config.instructions.read_page + self.config.instructions.process_bitmap_page);
         let done = self.cpu_burst(node, now, instr);
         self.events.schedule(done, Event::BitmapCpuDone { sq });
     }
@@ -445,10 +449,10 @@ impl Engine {
         let query = self.subqueries[sq].query;
         let pages = work.fact_pages_per_granule;
         let misses = if self.config.use_buffer {
-            let misses =
-                self.buffer
-                    .fact()
-                    .request_range(work.fragment, granule * pages, pages);
+            let misses = self
+                .buffer
+                .fact()
+                .request_range(work.fragment, granule * pages, pages);
             self.queries[query].buffer_hits += pages - misses;
             misses
         } else {
@@ -460,12 +464,9 @@ impl Engine {
         }
         self.queries[query].io_ops += 1;
         self.queries[query].pages += pages;
-        let offset = self.layout.fact_page_offset(
-            self.config.disks,
-            work.fragment,
-            granule,
-            pages,
-        );
+        let offset = self
+            .layout
+            .fact_page_offset(self.config.disks, work.fragment, granule, pages);
         let done = self.disk_request(work.fact_disk, now, offset, pages);
         self.events.schedule(done, Event::FactIoDone { sq });
     }
@@ -486,7 +487,9 @@ impl Engine {
     fn terminate_subquery(&mut self, now: SimTime, sq: usize) {
         let node = self.subqueries[sq].node;
         let instr = self.config.instructions.terminate_subquery
-            + self.config.send_instructions(self.config.small_message_bytes);
+            + self
+                .config
+                .send_instructions(self.config.small_message_bytes);
         let done = self.cpu_burst(node, now, instr);
         self.events.schedule(done, Event::SubqueryTerminated { sq });
     }
@@ -495,8 +498,7 @@ impl Engine {
         match event {
             Event::QueryArrive { query } => {
                 self.queries[query].started_at = now;
-                self.queries[query].results_outstanding =
-                    self.plans[query].subqueries.len();
+                self.queries[query].results_outstanding = self.plans[query].subqueries.len();
                 let coordinator = self.queries[query].coordinator;
                 self.nodes[coordinator].running += 1;
                 let done =
@@ -507,11 +509,8 @@ impl Engine {
                 if self.plans[query].subqueries.is_empty() {
                     // Degenerate query touching nothing: finish immediately.
                     let coordinator = self.queries[query].coordinator;
-                    let done = self.cpu_burst(
-                        coordinator,
-                        now,
-                        self.config.instructions.terminate_query,
-                    );
+                    let done =
+                        self.cpu_burst(coordinator, now, self.config.instructions.terminate_query);
                     self.events.schedule(done, Event::QueryDone { query });
                 } else {
                     self.dispatch_tasks(now, query);
@@ -519,7 +518,9 @@ impl Engine {
             }
             Event::SubqueryMessage { sq } => {
                 let node = self.subqueries[sq].node;
-                let instr = self.config.receive_instructions(self.config.small_message_bytes)
+                let instr = self
+                    .config
+                    .receive_instructions(self.config.small_message_bytes)
                     + self.config.instructions.initiate_subquery;
                 let done = self.cpu_burst(node, now, instr);
                 self.events.schedule(done, Event::SubqueryReady { sq });
@@ -558,7 +559,9 @@ impl Engine {
                 let coordinator = self.queries[query].coordinator;
                 let arrive = now
                     + SimTime::from_millis(self.config.network_ms(self.config.small_message_bytes));
-                let instr = self.config.receive_instructions(self.config.small_message_bytes);
+                let instr = self
+                    .config
+                    .receive_instructions(self.config.small_message_bytes);
                 let service = SimTime::from_millis(self.config.cpu_ms(instr));
                 let (_, done) = self.nodes[coordinator].cpu.submit(arrive, service);
                 self.events.schedule(done, Event::ResultReceived { sq });
@@ -570,11 +573,8 @@ impl Engine {
                     && self.queries[query].next_task == self.plans[query].subqueries.len()
                 {
                     let coordinator = self.queries[query].coordinator;
-                    let done = self.cpu_burst(
-                        coordinator,
-                        now,
-                        self.config.instructions.terminate_query,
-                    );
+                    let done =
+                        self.cpu_burst(coordinator, now, self.config.instructions.terminate_query);
                     self.events.schedule(done, Event::QueryDone { query });
                 }
             }
@@ -599,7 +599,8 @@ impl Engine {
                     self.next_query_to_start += 1;
                     let st = self.new_query_state();
                     self.queries.push(st);
-                    self.events.schedule(now, Event::QueryArrive { query: next });
+                    self.events
+                        .schedule(now, Event::QueryArrive { query: next });
                 }
             }
         }
@@ -648,9 +649,7 @@ mod tests {
         let layout = DiskLayout {
             total_fragments: f.fragment_count(),
             fragment_pages: plan.subqueries.first().map_or(1, |w| w.fragment_pages),
-            bitmap_fragment_pages: (sizing
-                .bitmap_fragment_pages(f.fragment_count())
-                .ceil() as u64)
+            bitmap_fragment_pages: (sizing.bitmap_fragment_pages(f.fragment_count()).ceil() as u64)
                 .max(1),
             bitmaps_per_fragment: 32,
         };
@@ -674,7 +673,11 @@ mod tests {
         assert_eq!(metrics.len(), 1);
         let m = &metrics[0];
         assert_eq!(m.subqueries, 1);
-        assert!(m.response_ms > 100.0 && m.response_ms < 10_000.0, "{}", m.response_ms);
+        assert!(
+            m.response_ms > 100.0 && m.response_ms < 10_000.0,
+            "{}",
+            m.response_ms
+        );
         assert!(m.disk_io_ops >= 100);
         assert!(m.pages_read >= 795);
         assert!(simulated >= m.response_ms);
@@ -720,7 +723,10 @@ mod tests {
         let slow = run(slow_cfg);
         let fast = run(fast_cfg);
         let speedup = slow / fast;
-        assert!(speedup > 3.0, "speed-up {speedup} (slow {slow} ms, fast {fast} ms)");
+        assert!(
+            speedup > 3.0,
+            "speed-up {speedup} (slow {slow} ms, fast {fast} ms)"
+        );
     }
 
     #[test]
@@ -770,7 +776,10 @@ mod tests {
         };
         let parallel = run(true);
         let serial = run(false);
-        assert!(parallel <= serial + 1e-6, "parallel {parallel} vs serial {serial}");
+        assert!(
+            parallel <= serial + 1e-6,
+            "parallel {parallel} vs serial {serial}"
+        );
     }
 
     #[test]
@@ -813,6 +822,9 @@ mod tests {
         let overlapped = Engine::new(config, layout, vec![plan1, plan2], 2);
         let (metrics, _, _, overlapped_time) = overlapped.run();
         assert_eq!(metrics.len(), 2);
-        assert!(overlapped_time < serial_time, "{overlapped_time} vs {serial_time}");
+        assert!(
+            overlapped_time < serial_time,
+            "{overlapped_time} vs {serial_time}"
+        );
     }
 }

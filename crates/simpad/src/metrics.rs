@@ -48,6 +48,7 @@ pub struct RunSummary {
 impl RunSummary {
     /// Builds a summary from per-query metrics and utilisation figures.
     #[must_use]
+    #[allow(clippy::too_many_arguments)]
     pub fn from_queries(
         query_name: String,
         disks: u64,
@@ -129,10 +130,24 @@ mod tests {
     #[test]
     fn speedup_computation() {
         let slow = RunSummary::from_queries(
-            "q".into(), 20, 1, 4, vec![metric(10_000.0)], 0.9, 0.1, 10_000.0,
+            "q".into(),
+            20,
+            1,
+            4,
+            vec![metric(10_000.0)],
+            0.9,
+            0.1,
+            10_000.0,
         );
         let fast = RunSummary::from_queries(
-            "q".into(), 100, 5, 4, vec![metric(2_000.0)], 0.9, 0.1, 2_000.0,
+            "q".into(),
+            100,
+            5,
+            4,
+            vec![metric(2_000.0)],
+            0.9,
+            0.1,
+            2_000.0,
         );
         assert!((fast.speedup_vs(&slow) - 5.0).abs() < 1e-12);
         assert!((slow.speedup_vs(&slow) - 1.0).abs() < 1e-12);
@@ -140,8 +155,7 @@ mod tests {
 
     #[test]
     fn empty_run_is_safe() {
-        let summary =
-            RunSummary::from_queries("q".into(), 10, 2, 4, vec![], 0.0, 0.0, 0.0);
+        let summary = RunSummary::from_queries("q".into(), 10, 2, 4, vec![], 0.0, 0.0, 0.0);
         assert_eq!(summary.mean_response_ms, 0.0);
         assert_eq!(summary.std_response_ms, 0.0);
     }

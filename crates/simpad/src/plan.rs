@@ -174,7 +174,13 @@ mod tests {
     use schema::apb1::apb1_schema;
     use workload::QueryType;
 
-    fn setup() -> (StarSchema, IndexCatalog, Fragmentation, PhysicalAllocation, SimConfig) {
+    fn setup() -> (
+        StarSchema,
+        IndexCatalog,
+        Fragmentation,
+        PhysicalAllocation,
+        SimConfig,
+    ) {
         let s = apb1_schema();
         let catalog = IndexCatalog::default_for(&s);
         let f = Fragmentation::parse(&s, &["time::month", "product::group"]).unwrap();
@@ -189,7 +195,14 @@ mod tests {
     #[test]
     fn one_month_plan_reads_whole_fragments_without_bitmaps() {
         let (s, catalog, f, a, c) = setup();
-        let plan = plan_query(&s, &catalog, &f, &a, &c, &bound(&s, QueryType::OneMonth, vec![3]));
+        let plan = plan_query(
+            &s,
+            &catalog,
+            &f,
+            &a,
+            &c,
+            &bound(&s, QueryType::OneMonth, vec![3]),
+        );
         assert_eq!(plan.subquery_count(), 480);
         assert!(plan.classification.needs_no_bitmaps());
         for sq in &plan.subqueries {
@@ -206,7 +219,14 @@ mod tests {
     #[test]
     fn one_store_plan_reads_12_bitmaps_per_fragment() {
         let (s, catalog, f, a, c) = setup();
-        let plan = plan_query(&s, &catalog, &f, &a, &c, &bound(&s, QueryType::OneStore, vec![7]));
+        let plan = plan_query(
+            &s,
+            &catalog,
+            &f,
+            &a,
+            &c,
+            &bound(&s, QueryType::OneStore, vec![7]),
+        );
         assert_eq!(plan.subquery_count(), 11_520);
         let sq = &plan.subqueries[0];
         assert_eq!(sq.bitmap_reads.len(), 12);
@@ -264,7 +284,14 @@ mod tests {
     fn colocated_allocation_places_bitmaps_on_fact_disk() {
         let (s, catalog, f, _, c) = setup();
         let a = PhysicalAllocation::round_robin_colocated(100);
-        let plan = plan_query(&s, &catalog, &f, &a, &c, &bound(&s, QueryType::OneStore, vec![7]));
+        let plan = plan_query(
+            &s,
+            &catalog,
+            &f,
+            &a,
+            &c,
+            &bound(&s, QueryType::OneStore, vec![7]),
+        );
         let sq = &plan.subqueries[42];
         for b in &sq.bitmap_reads {
             assert_eq!(b.disk, sq.fact_disk);

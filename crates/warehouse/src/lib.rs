@@ -50,8 +50,7 @@ pub mod prelude {
     pub use allocation::{BitmapPlacement, PhysicalAllocation};
     pub use bitmap::{Bitmap, HierarchicalEncoding, IndexCatalog};
     pub use mdhf::{
-        classify, Advisor, AdvisorConfig, CostModel, Fragmentation, IoClass, QueryClass,
-        StarQuery,
+        classify, Advisor, AdvisorConfig, CostModel, Fragmentation, IoClass, QueryClass, StarQuery,
     };
     pub use schema::{self, StarSchema};
     pub use simpad::{run_experiment, ExperimentSetup, SimConfig};

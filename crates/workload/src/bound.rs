@@ -256,7 +256,10 @@ mod tests {
         let q = QueryType::OneMonthOneGroup.to_star_query(&s);
         let bound = BoundQuery::new(&s, q, vec![5, 123]);
         assert_eq!(bound.value_of(s.attr("time", "month").unwrap()), Some(5));
-        assert_eq!(bound.value_of(s.attr("product", "group").unwrap()), Some(123));
+        assert_eq!(
+            bound.value_of(s.attr("product", "group").unwrap()),
+            Some(123)
+        );
         assert_eq!(bound.value_of(s.attr("customer", "store").unwrap()), None);
         assert_eq!(bound.values(), &[5, 123]);
         assert_eq!(bound.query().name(), "1MONTH1GROUP");

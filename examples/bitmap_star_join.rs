@@ -7,7 +7,7 @@
 //! against a brute-force scan.  It also shows the MDHF fragment pruning on
 //! the same data.
 //!
-//! Run with `cargo run --release --example bitmap_star_join -p mdhf-warehouse`.
+//! Run with `cargo run --release --example bitmap_star_join`.
 
 use warehouse::bitmap::{evaluate_star_query, MaterialisedFactTable, MaterialisedIndex};
 use warehouse::prelude::*;
@@ -52,7 +52,9 @@ fn main() {
     println!("1MONTH1GROUP via bitmap AND: {hits} hit rows, SUM(UnitsSold) = {units_sold}");
 
     // Cross-check against a brute-force scan.
-    let group_range = schema.dimensions()[product].hierarchy().leaf_range_of(group.level, 1);
+    let group_range = schema.dimensions()[product]
+        .hierarchy()
+        .leaf_range_of(group.level, 1);
     let mut predicates = vec![None, None, None, None];
     predicates[product] = Some(group_range);
     predicates[time] = Some(3..4);

@@ -7,7 +7,7 @@
 //! a weighted query mix and prints a ranked recommendation — the tool the
 //! paper suggests a database administrator would use.
 //!
-//! Run with `cargo run --release --example fragmentation_advisor -p mdhf-warehouse`.
+//! Run with `cargo run --release --example fragmentation_advisor`.
 
 use warehouse::prelude::*;
 

@@ -1,7 +1,7 @@
 //! Quickstart: fragment the APB-1 star schema, classify queries, estimate
 //! their I/O and simulate one of them.
 //!
-//! Run with `cargo run --release --example quickstart -p mdhf-warehouse`.
+//! Run with `cargo run --release --example quickstart`.
 
 use warehouse::prelude::*;
 

@@ -6,7 +6,7 @@
 //! times and speed-ups.  The full Table 5 grid is produced by the `bench`
 //! crate binaries `fig3_speedup_1store` and `fig4_speedup_1month`.
 //!
-//! Run with `cargo run --release --example speedup_study -p mdhf-warehouse`.
+//! Run with `cargo run --release --example speedup_study`.
 
 use warehouse::prelude::*;
 
@@ -18,13 +18,7 @@ fn run(
     query_type: QueryType,
 ) -> f64 {
     let config = SimConfig::for_speedup_point(disks, nodes);
-    let setup = ExperimentSetup::new(
-        schema.clone(),
-        fragmentation.clone(),
-        config,
-        query_type,
-        1,
-    );
+    let setup = ExperimentSetup::new(schema.clone(), fragmentation.clone(), config, query_type, 1);
     run_experiment(&setup).mean_response_secs()
 }
 

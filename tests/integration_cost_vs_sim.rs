@@ -29,8 +29,7 @@ fn cost_model_and_simulator_rank_fragmentations_identically() {
     let mut analytic = Vec::new();
     let mut simulated = Vec::new();
     for product_level in ["product::group", "product::class", "product::code"] {
-        let fragmentation =
-            Fragmentation::parse(&schema, &["time::month", product_level]).unwrap();
+        let fragmentation = Fragmentation::parse(&schema, &["time::month", product_level]).unwrap();
         let (_, cost) = model.evaluate(&fragmentation, &query);
         analytic.push(cost.total_pages());
         let setup = ExperimentSetup::new(
@@ -43,8 +42,14 @@ fn cost_model_and_simulator_rank_fragmentations_identically() {
         simulated.push(run_experiment(&setup).mean_response_ms);
     }
     // Both metrics decrease from group to class to code.
-    assert!(analytic[0] > analytic[1] && analytic[1] > analytic[2], "{analytic:?}");
-    assert!(simulated[0] > simulated[1] && simulated[1] > simulated[2], "{simulated:?}");
+    assert!(
+        analytic[0] > analytic[1] && analytic[1] > analytic[2],
+        "{analytic:?}"
+    );
+    assert!(
+        simulated[0] > simulated[1] && simulated[1] > simulated[2],
+        "{simulated:?}"
+    );
 }
 
 /// The number of pages the simulator actually reads for a query is in the
@@ -55,8 +60,7 @@ fn simulated_page_counts_match_analytic_estimates_for_ioc1() {
     let schema = schema::apb1::apb1_schema();
     let catalog = IndexCatalog::default_for(&schema);
     let model = CostModel::new(schema.clone(), catalog);
-    let fragmentation =
-        Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+    let fragmentation = Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
     let query = QueryType::OneMonthOneGroup.to_star_query(&schema);
     let (_, cost) = model.evaluate(&fragmentation, &query);
 
@@ -116,8 +120,7 @@ fn materialised_bitmaps_agree_with_logical_model() {
 fn bound_query_fragment_lists_cover_all_matching_rows() {
     let schema = schema::apb1::apb1_scaled_down();
     let table = MaterialisedFactTable::generate(&schema, 7);
-    let fragmentation =
-        Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+    let fragmentation = Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
     let product = schema.dimension_index("product").unwrap();
     let time = schema.dimension_index("time").unwrap();
     let group_attr = schema.attr("product", "group").unwrap();

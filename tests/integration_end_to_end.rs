@@ -11,8 +11,7 @@ use warehouse::prelude::*;
 #[test]
 fn full_pipeline_runs_every_standard_query_type() {
     let schema = schema::apb1::apb1_schema();
-    let fragmentation =
-        Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+    let fragmentation = Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
     let config = SimConfig {
         disks: 20,
         nodes: 4,
@@ -56,8 +55,7 @@ fn full_pipeline_runs_every_standard_query_type() {
 #[test]
 fn supported_queries_are_much_faster_than_unsupported_ones() {
     let schema = schema::apb1::apb1_schema();
-    let fragmentation =
-        Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+    let fragmentation = Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
     let config = SimConfig {
         disks: 20,
         nodes: 4,
@@ -88,8 +86,7 @@ fn supported_queries_are_much_faster_than_unsupported_ones() {
 #[test]
 fn allocation_analysis_is_consistent_with_placement_and_bound_queries() {
     let schema = schema::apb1::apb1_schema();
-    let fragmentation =
-        Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+    let fragmentation = Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
     let allocation = PhysicalAllocation::round_robin(100);
 
     // Capacity accounting covers all fragments.
@@ -99,11 +96,7 @@ fn allocation_analysis_is_consistent_with_placement_and_bound_queries() {
 
     // The 1CODE query instance touches every 480th fragment; under plain
     // round robin on 100 disks those land on exactly 5 disks (§4.6).
-    let bound = BoundQuery::new(
-        &schema,
-        QueryType::OneCode.to_star_query(&schema),
-        vec![42],
-    );
+    let bound = BoundQuery::new(&schema, QueryType::OneCode.to_star_query(&schema), vec![42]);
     let fragments = bound.relevant_fragments(&schema, &fragmentation);
     assert_eq!(fragments.len(), 24);
     assert_eq!(effective_parallelism(&allocation, &fragments), 5);

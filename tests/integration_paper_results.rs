@@ -13,10 +13,28 @@ use warehouse::schema::PageSizing;
 fn paper_schema_cardinalities() {
     let schema = schema::apb1::apb1_schema();
     assert_eq!(schema.fact_row_count(), 1_866_240_000);
-    assert_eq!(schema.attr("product", "code").unwrap().cardinality(&schema), 14_400);
-    assert_eq!(schema.attr("customer", "store").unwrap().cardinality(&schema), 1_440);
-    assert_eq!(schema.attr("time", "month").unwrap().cardinality(&schema), 24);
-    assert_eq!(schema.attr("channel", "channel").unwrap().cardinality(&schema), 15);
+    assert_eq!(
+        schema.attr("product", "code").unwrap().cardinality(&schema),
+        14_400
+    );
+    assert_eq!(
+        schema
+            .attr("customer", "store")
+            .unwrap()
+            .cardinality(&schema),
+        1_440
+    );
+    assert_eq!(
+        schema.attr("time", "month").unwrap().cardinality(&schema),
+        24
+    );
+    assert_eq!(
+        schema
+            .attr("channel", "channel")
+            .unwrap()
+            .cardinality(&schema),
+        15
+    );
 }
 
 /// §3.2 / Table 1 — encoded bitmap join indices: 15 + 12 encoded bitmaps,
@@ -48,7 +66,12 @@ fn paper_fragment_counts() {
         (vec!["time::month", "product::class"], 23_040),
         (vec!["time::month", "product::code"], 345_600),
         (
-            vec!["time::quarter", "product::group", "customer::retailer", "channel::channel"],
+            vec![
+                "time::quarter",
+                "product::group",
+                "customer::retailer",
+                "channel::channel",
+            ],
             8 * 480 * 144 * 15,
         ),
     ] {
@@ -109,8 +132,7 @@ fn paper_table3_orders_of_magnitude() {
 fn paper_gcd_clustering_example() {
     use warehouse::allocation::{effective_parallelism, PhysicalAllocation};
     let schema = schema::apb1::apb1_schema();
-    let fragmentation =
-        Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+    let fragmentation = Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
     let bound = BoundQuery::new(&schema, QueryType::OneCode.to_star_query(&schema), vec![0]);
     let fragments = bound.relevant_fragments(&schema, &fragmentation);
     assert_eq!(
@@ -122,7 +144,10 @@ fn paper_gcd_clustering_example() {
         24
     );
     assert!(
-        effective_parallelism(&PhysicalAllocation::round_robin_with_gap(100, 1), &fragments) >= 20
+        effective_parallelism(
+            &PhysicalAllocation::round_robin_with_gap(100, 1),
+            &fragments
+        ) >= 20
     );
 }
 
@@ -132,8 +157,7 @@ fn paper_gcd_clustering_example() {
 #[test]
 fn paper_parallel_bitmap_io_helps() {
     let schema = schema::apb1::apb1_schema();
-    let fragmentation =
-        Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+    let fragmentation = Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
     let run = |parallel: bool| {
         let config = SimConfig {
             disks: 30,

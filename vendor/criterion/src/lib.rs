@@ -1,0 +1,152 @@
+//! Vendored minimal stand-in for `criterion`.
+//!
+//! Offline builds cannot fetch the real criterion crate, so this provides the
+//! subset of its API the bench targets use: `Criterion::bench_function`,
+//! benchmark groups with `sample_size`, `Bencher::iter` / `iter_batched`,
+//! `black_box` and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Timing is a plain wall-clock median over a fixed number of samples — good
+//! enough for coarse regression spotting; swap in the real criterion for
+//! statistically rigorous numbers once the registry is reachable.
+
+use std::time::Instant;
+
+/// Re-export of the standard opaque value barrier.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost; only a marker here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Drives the measured closure of one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Measures `routine` over this sample's iteration budget.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+
+    /// Measures `routine` on inputs produced by `setup`, excluding setup time
+    /// from the aggregate only in the trivial sense of timing per call.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let mut total: u128 = 0;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed().as_nanos();
+        }
+        self.elapsed_ns = total;
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, name), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (report flushing in real criterion; a no-op here).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut per_iter_ns: Vec<u128> = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed_ns: 0,
+        };
+        f(&mut bencher);
+        per_iter_ns.push(bencher.elapsed_ns / u128::from(bencher.iters.max(1)));
+    }
+    per_iter_ns.sort_unstable();
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    println!(
+        "{name:<50} median {:>12} ns/iter ({} samples)",
+        median,
+        per_iter_ns.len()
+    );
+}
+
+/// Collects bench functions into a runnable group, like `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups, like `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

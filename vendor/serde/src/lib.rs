@@ -1,0 +1,15 @@
+//! Vendored stand-in for `serde`.
+//!
+//! Offline builds cannot fetch the real `serde`; the workspace only relies on
+//! `#[derive(Serialize, Deserialize)]` as a marker for "this type is part of
+//! the serialisable configuration/result surface". The traits here carry no
+//! methods, and the re-exported derives emit empty marker impls. Swapping in
+//! the real serde later is a one-line Cargo.toml change per crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize {}
