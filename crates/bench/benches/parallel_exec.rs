@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the parallel star-join execution engine: the
+//! 1STORE full-scan query swept over 1 → 8 workers (the measured Figure 3
+//! axis), plus the fragment-pruned fast path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use warehouse::prelude::*;
+use warehouse::workload::QueryType;
+
+fn bench_worker_sweep(c: &mut Criterion) {
+    let engine = StarJoinEngine::new(bench_support::measured_store(true));
+    let schema = engine.store().schema().clone();
+    let one_store = BoundQuery::new(
+        &schema,
+        QueryType::OneStore.to_star_query(&schema),
+        vec![17],
+    );
+    let plan = engine.plan(&one_store);
+    for workers in [1usize, 2, 4, 8] {
+        let name = format!("exec_1store_{workers}_workers");
+        c.bench_function(&name, |bencher| {
+            bencher.iter(|| {
+                std::hint::black_box(engine.execute_plan(&plan, &ExecConfig::with_workers(workers)))
+            })
+        });
+    }
+}
+
+fn bench_pruned_fast_path(c: &mut Criterion) {
+    let engine = StarJoinEngine::new(bench_support::measured_store(true));
+    let schema = engine.store().schema().clone();
+    let pruned = BoundQuery::new(
+        &schema,
+        QueryType::OneMonthOneGroup.to_star_query(&schema),
+        vec![3, 1],
+    );
+    c.bench_function("exec_1month1group_pruned_serial", |bencher| {
+        bencher.iter(|| std::hint::black_box(engine.execute_serial(&pruned)))
+    });
+    c.bench_function("exec_plan_1store", |bencher| {
+        let one_store = BoundQuery::new(
+            &schema,
+            QueryType::OneStore.to_star_query(&schema),
+            vec![17],
+        );
+        bencher.iter(|| std::hint::black_box(engine.plan(&one_store)))
+    });
+}
+
+criterion_group!(benches, bench_worker_sweep, bench_pruned_fast_path);
+criterion_main!(benches);

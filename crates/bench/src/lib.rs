@@ -54,6 +54,37 @@ pub fn run_point(
     run_experiment(&setup)
 }
 
+/// Builds a materialised [`FragmentStore`] for measured (wall-clock)
+/// experiments: an APB-1-shaped warehouse under a `F_MonthGroup`-style
+/// fragmentation, sized so that parallel execution pays off.  `quick`
+/// shrinks the fact volume to roughly a quarter for CI smoke runs.
+#[must_use]
+pub fn measured_store(quick: bool) -> FragmentStore {
+    let config = if quick {
+        schema::apb1::Apb1Config {
+            channels: 3,
+            months: 24,
+            stores: 120,
+            product_codes: 240,
+            density: 0.55,
+            fact_tuple_bytes: 20,
+        }
+    } else {
+        schema::apb1::Apb1Config {
+            channels: 3,
+            months: 24,
+            stores: 240,
+            product_codes: 480,
+            density: 0.5,
+            fact_tuple_bytes: 20,
+        }
+    };
+    let schema = config.build();
+    let fragmentation = Fragmentation::parse(&schema, &["time::month", "product::group"])
+        .expect("valid fragmentation attributes");
+    FragmentStore::build(&schema, &fragmentation, 7)
+}
+
 /// True when the binary was invoked with `--quick` (reduced parameter
 /// sweeps for smoke-testing) — the full sweeps are the default.
 #[must_use]

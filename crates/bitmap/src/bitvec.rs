@@ -140,6 +140,30 @@ impl Bitmap {
         }
     }
 
+    /// Multi-way intersection: ANDs all `bitmaps` together in a single
+    /// word-at-a-time pass, avoiding the intermediate bitmaps a chain of
+    /// [`Bitmap::and`] calls would allocate.  This is the hot operation of
+    /// star-join selection, where one bitmap per predicate is intersected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bitmaps` is empty or the lengths differ.
+    #[must_use]
+    pub fn and_many(bitmaps: &[&Bitmap]) -> Bitmap {
+        let first = *bitmaps.first().expect("and_many needs at least one bitmap");
+        assert!(
+            bitmaps[1..].iter().all(|b| b.len == first.len),
+            "bitmap length mismatch"
+        );
+        let words = (0..first.words.len())
+            .map(|i| bitmaps.iter().fold(!0u64, |acc, b| acc & b.words[i]))
+            .collect();
+        Bitmap {
+            len: first.len,
+            words,
+        }
+    }
+
     /// In-place bitwise AND.
     pub fn and_assign(&mut self, other: &Bitmap) {
         assert_eq!(self.len, other.len, "bitmap length mismatch");
@@ -277,6 +301,35 @@ mod tests {
     }
 
     #[test]
+    fn and_many_matches_chained_and() {
+        let a = Bitmap::from_positions(200, (0..200).filter(|i| i % 2 == 0));
+        let b = Bitmap::from_positions(200, (0..200).filter(|i| i % 3 == 0));
+        let c = Bitmap::from_positions(200, (0..200).filter(|i| i % 5 == 0));
+        assert_eq!(Bitmap::and_many(&[&a, &b, &c]), a.and(&b).and(&c));
+        assert_eq!(Bitmap::and_many(&[&a]), a);
+        assert_eq!(
+            Bitmap::and_many(&[&a, &b, &c])
+                .iter_ones()
+                .collect::<Vec<_>>(),
+            (0..200usize).filter(|i| i % 30 == 0).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bitmap")]
+    fn and_many_rejects_empty_input() {
+        let _ = Bitmap::and_many(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn and_many_rejects_length_mismatch() {
+        let a = Bitmap::new(10);
+        let b = Bitmap::new(11);
+        let _ = Bitmap::and_many(&[&a, &b]);
+    }
+
+    #[test]
     fn iter_ones_in_order() {
         let positions = vec![0, 63, 64, 65, 127, 128, 199];
         let b = Bitmap::from_positions(200, positions.clone());
@@ -352,6 +405,17 @@ mod prop_tests {
             let or: BTreeSet<_> = a.or(&b).iter_ones().collect();
             prop_assert_eq!(and, sa.intersection(&sb).copied().collect::<BTreeSet<_>>());
             prop_assert_eq!(or, sa.union(&sb).copied().collect::<BTreeSet<_>>());
+        }
+
+        /// and_many over any stack of bitmaps equals the left fold of binary
+        /// ANDs, including the tail-word invariant.
+        #[test]
+        fn prop_and_many_is_fold_of_and(
+            a in arb_bitmap(170), b in arb_bitmap(170), c in arb_bitmap(170)
+        ) {
+            let folded = a.and(&b).and(&c);
+            prop_assert_eq!(Bitmap::and_many(&[&a, &b, &c]), folded.clone());
+            prop_assert_eq!(folded.count_ones(), Bitmap::and_many(&[&c, &b, &a]).count_ones());
         }
 
         /// count_ones matches iter_ones length; complement counts are exact.

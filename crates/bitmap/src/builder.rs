@@ -84,6 +84,33 @@ impl MaterialisedFactTable {
         }
     }
 
+    /// Builds a table directly from rows — used to assemble per-fragment
+    /// sub-tables when a generated table is partitioned under an MDHF
+    /// fragmentation, so that real bitmap indices can be built fragment by
+    /// fragment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row's key arity does not match `dimension_cardinalities`
+    /// or a key is outside its dimension's cardinality.
+    #[must_use]
+    pub fn from_rows(rows: Vec<FactRow>, dimension_cardinalities: Vec<u64>) -> Self {
+        for row in &rows {
+            assert_eq!(
+                row.keys.len(),
+                dimension_cardinalities.len(),
+                "one leaf key per dimension required"
+            );
+            for (key, &card) in row.keys.iter().zip(&dimension_cardinalities) {
+                assert!(*key < card, "leaf key {key} out of range (< {card})");
+            }
+        }
+        MaterialisedFactTable {
+            rows,
+            dimension_cardinalities,
+        }
+    }
+
     /// The materialised rows.
     #[must_use]
     pub fn rows(&self) -> &[FactRow] {
@@ -297,6 +324,11 @@ impl MaterialisedIndex {
 /// intersects the selection bitmaps of all `(dimension, level, value)`
 /// predicates and sums the requested measure over the matching rows.
 ///
+/// This is the *reference implementation* of bitmap star-join evaluation
+/// over the unfragmented table; the `exec` engine's fragmented, parallel
+/// pipeline is cross-checked against it in the repository-level
+/// integration tests.
+///
 /// Returns `(hit_count, measure_sum)`.
 #[must_use]
 pub fn evaluate_star_query(
@@ -463,6 +495,42 @@ mod tests {
                 catalog.spec(idx.dimension()).bitmaps_for_selection(finest)
             );
         }
+    }
+
+    #[test]
+    fn from_rows_roundtrips_and_scans() {
+        let (schema, table, catalog, _) = setup();
+        let rebuilt = MaterialisedFactTable::from_rows(
+            table.rows().to_vec(),
+            table.dimension_cardinalities().to_vec(),
+        );
+        assert_eq!(rebuilt, table);
+        // Indices built over a from_rows table behave identically.
+        let product = schema.dimension_index("product").unwrap();
+        let index = MaterialisedIndex::build(&schema, &catalog, &rebuilt, product);
+        let leaf = schema.dimensions()[product].hierarchy().finest_level();
+        let mut preds = vec![None, None, None, None];
+        preds[product] = Some(7..8);
+        assert_eq!(
+            index.select(leaf, 7).iter_ones().collect::<Vec<_>>(),
+            rebuilt.scan(&preds)
+        );
+        // An empty sub-table is valid (empty fragments exist under sparse data).
+        let empty =
+            MaterialisedFactTable::from_rows(vec![], table.dimension_cardinalities().to_vec());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_rows_rejects_out_of_range_keys() {
+        let _ = MaterialisedFactTable::from_rows(
+            vec![FactRow {
+                keys: vec![5, 0],
+                measures: vec![1.0],
+            }],
+            vec![3, 10],
+        );
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Execution metrics: per-worker accounting and wall-clock speedup.
+
+use std::time::Duration;
+
+/// What one worker did during a query execution.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerMetrics {
+    /// The worker's index within the pool.
+    pub worker: usize,
+    /// Fragments processed in total.
+    pub fragments_processed: usize,
+    /// Fragments obtained by stealing from another worker's deque.
+    pub fragments_stolen: usize,
+    /// Fact rows inspected (whole-fragment aggregation and bitmap hits both
+    /// count every aggregated row).
+    pub rows_scanned: u64,
+    /// Fact rows that satisfied all predicates.
+    pub rows_matched: u64,
+    /// Time the worker spent between its first and last claim.
+    pub busy: Duration,
+}
+
+/// Metrics of one query execution on a worker pool.
+#[derive(Debug, Clone)]
+pub struct ExecMetrics {
+    /// Per-worker accounting, indexed by worker.
+    pub workers: Vec<WorkerMetrics>,
+    /// Wall-clock time of the whole execution (planning excluded).
+    pub wall: Duration,
+    /// Number of fragments the plan selected.
+    pub planned_fragments: usize,
+}
+
+impl ExecMetrics {
+    /// Size of the worker pool.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Fragments processed across all workers — must equal
+    /// `planned_fragments` after a completed run.
+    #[must_use]
+    pub fn total_fragments(&self) -> usize {
+        self.workers.iter().map(|w| w.fragments_processed).sum()
+    }
+
+    /// Fragments that changed owner through stealing.
+    #[must_use]
+    pub fn total_stolen(&self) -> usize {
+        self.workers.iter().map(|w| w.fragments_stolen).sum()
+    }
+
+    /// Fact rows aggregated across all workers.
+    #[must_use]
+    pub fn total_rows_scanned(&self) -> u64 {
+        self.workers.iter().map(|w| w.rows_scanned).sum()
+    }
+
+    /// Wall-clock speedup of this run relative to `baseline` (usually the
+    /// 1-worker run of the same plan).
+    #[must_use]
+    pub fn speedup_vs(&self, baseline: &ExecMetrics) -> f64 {
+        baseline.wall.as_secs_f64() / self.wall.as_secs_f64().max(f64::EPSILON)
+    }
+
+    /// Load imbalance: the busiest worker's busy time over the mean busy
+    /// time.  1.0 is perfect balance; large values mean the pool idled.
+    #[must_use]
+    pub fn load_imbalance(&self) -> f64 {
+        let busiest = self
+            .workers
+            .iter()
+            .map(|w| w.busy.as_secs_f64())
+            .fold(0.0f64, f64::max);
+        let mean = self
+            .workers
+            .iter()
+            .map(|w| w.busy.as_secs_f64())
+            .sum::<f64>()
+            / self.workers.len().max(1) as f64;
+        if mean <= f64::EPSILON {
+            1.0
+        } else {
+            busiest / mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(busy_ms: &[u64]) -> ExecMetrics {
+        ExecMetrics {
+            workers: busy_ms
+                .iter()
+                .enumerate()
+                .map(|(worker, &ms)| WorkerMetrics {
+                    worker,
+                    fragments_processed: 2,
+                    fragments_stolen: usize::from(worker > 0),
+                    rows_scanned: 100,
+                    rows_matched: 10,
+                    busy: Duration::from_millis(ms),
+                })
+                .collect(),
+            wall: Duration::from_millis(*busy_ms.iter().max().unwrap_or(&1)),
+            planned_fragments: 2 * busy_ms.len(),
+        }
+    }
+
+    #[test]
+    fn totals_sum_over_workers() {
+        let m = metrics(&[10, 10, 10, 10]);
+        assert_eq!(m.worker_count(), 4);
+        assert_eq!(m.total_fragments(), 8);
+        assert_eq!(m.total_stolen(), 3);
+        assert_eq!(m.total_rows_scanned(), 400);
+        assert_eq!(m.planned_fragments, m.total_fragments());
+    }
+
+    #[test]
+    fn speedup_is_wall_clock_ratio() {
+        let serial = metrics(&[100]);
+        let parallel = metrics(&[25, 25, 25, 25]);
+        assert!((serial.speedup_vs(&serial) - 1.0).abs() < 1e-12);
+        assert!((parallel.speedup_vs(&serial) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_imbalance_detects_skew() {
+        assert!((metrics(&[10, 10, 10, 10]).load_imbalance() - 1.0).abs() < 1e-12);
+        let skewed = metrics(&[40, 0, 0, 0]);
+        assert!((skewed.load_imbalance() - 4.0).abs() < 1e-12);
+        // A degenerate all-idle pool reports perfect balance, not NaN.
+        assert!((metrics(&[0]).load_imbalance() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,197 @@
+//! A shared fragment queue with work stealing.
+//!
+//! The paper's execution model assigns fragment subqueries to processing
+//! elements *dynamically* to balance load (fragments differ in size and the
+//! PEs in speed).  This queue mirrors that: each worker owns a deque seeded
+//! with a contiguous chunk of the plan's fragment list (preserving the
+//! allocation order's locality), pops work from its own front, and — once
+//! empty — steals from the back of the most loaded other worker.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// How a task was obtained from the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Claim {
+    /// Taken from the worker's own deque.
+    Own(usize),
+    /// Stolen from another worker's deque.
+    Stolen(usize),
+}
+
+impl Claim {
+    /// The claimed task index, regardless of provenance.
+    #[must_use]
+    pub fn task(self) -> usize {
+        match self {
+            Claim::Own(t) | Claim::Stolen(t) => t,
+        }
+    }
+}
+
+/// A work-stealing queue over task indices `0..tasks`.
+#[derive(Debug)]
+pub struct FragmentQueue {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl FragmentQueue {
+    /// Creates a queue of `tasks` task indices for `workers` workers, seeding
+    /// each worker with a contiguous, evenly sized chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    #[must_use]
+    pub fn new(tasks: usize, workers: usize) -> Self {
+        assert!(workers > 0, "a queue needs at least one worker");
+        let mut deques: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for task in 0..tasks {
+            // Balanced contiguous chunks: worker w owns tasks with
+            // task * workers / tasks == w.
+            let owner = task * workers / tasks;
+            deques[owner].push_back(task);
+        }
+        FragmentQueue {
+            deques: deques.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Number of workers the queue was created for.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Claims the next task for `worker`: first from its own deque's front,
+    /// otherwise stolen from the back of the most loaded other deque.
+    /// Returns `None` only when every deque is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range or a deque lock is poisoned.
+    #[must_use]
+    pub fn claim(&self, worker: usize) -> Option<Claim> {
+        assert!(worker < self.deques.len(), "worker index out of range");
+        if let Some(task) = self.lock(worker).pop_front() {
+            return Some(Claim::Own(task));
+        }
+        // Snapshot victim loads, then try them in descending-load order.
+        // Loads can change between snapshot and steal, so re-check under the
+        // victim's lock and fall through to the next candidate when raced.
+        let mut victims: Vec<(usize, usize)> = (0..self.deques.len())
+            .filter(|&v| v != worker)
+            .map(|v| (self.lock(v).len(), v))
+            .filter(|&(len, _)| len > 0)
+            .collect();
+        victims.sort_unstable_by(|a, b| b.cmp(a));
+        for (_, victim) in victims {
+            if let Some(task) = self.lock(victim).pop_back() {
+                return Some(Claim::Stolen(task));
+            }
+        }
+        None
+    }
+
+    /// Total number of unclaimed tasks across all deques.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        (0..self.deques.len()).map(|w| self.lock(w).len()).sum()
+    }
+
+    fn lock(&self, worker: usize) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
+        self.deques[worker].lock().expect("queue lock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn chunks_are_contiguous_and_balanced() {
+        let queue = FragmentQueue::new(10, 3);
+        assert_eq!(queue.workers(), 3);
+        assert_eq!(queue.remaining(), 10);
+        // Worker 0 drains its own chunk front-to-back before stealing.
+        let mut own = Vec::new();
+        while let Some(Claim::Own(t)) = queue.claim(0) {
+            own.push(t);
+        }
+        assert_eq!(own, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn every_task_is_claimed_exactly_once() {
+        let queue = FragmentQueue::new(25, 4);
+        let mut seen = BTreeSet::new();
+        // A single worker drains the whole queue via stealing.
+        while let Some(claim) = queue.claim(2) {
+            assert!(
+                seen.insert(claim.task()),
+                "task {} claimed twice",
+                claim.task()
+            );
+        }
+        assert_eq!(seen.len(), 25);
+        assert_eq!(queue.remaining(), 0);
+        assert_eq!(queue.claim(2), None);
+    }
+
+    #[test]
+    fn steals_come_from_the_most_loaded_victim() {
+        let queue = FragmentQueue::new(9, 3);
+        // Drain worker 1's own chunk so its first claim afterwards must steal.
+        while let Some(Claim::Own(_)) = queue.claim(1) {}
+        // Worker 0 and 2 both still hold 3 tasks; a steal takes from a back.
+        match queue.claim(1) {
+            Some(Claim::Stolen(t)) => assert!(t == 2 || t == 8, "stole {t}"),
+            other => panic!("expected a steal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_drain_claims_every_task_once() {
+        let tasks = 500;
+        let workers = 4;
+        let queue = FragmentQueue::new(tasks, workers);
+        let claimed: Vec<Vec<usize>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let queue = &queue;
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        while let Some(claim) = queue.claim(w) {
+                            mine.push(claim.task());
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        let all: BTreeSet<usize> = claimed.iter().flatten().copied().collect();
+        let total: usize = claimed.iter().map(Vec::len).sum();
+        assert_eq!(total, tasks, "tasks claimed more than once");
+        assert_eq!(all.len(), tasks, "tasks lost");
+    }
+
+    #[test]
+    fn empty_queue_and_single_worker() {
+        let queue = FragmentQueue::new(0, 2);
+        assert_eq!(queue.claim(0), None);
+        let queue = FragmentQueue::new(3, 1);
+        assert_eq!(queue.claim(0), Some(Claim::Own(0)));
+        assert_eq!(queue.remaining(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = FragmentQueue::new(5, 0);
+    }
+}

@@ -1,0 +1,341 @@
+//! In-memory columnar storage of an MDHF-fragmented fact table.
+//!
+//! The simulator ([`simpad`]) works on cardinalities; this store holds *real*
+//! rows so that wall-clock execution can be measured.  A generated
+//! [`MaterialisedFactTable`] is partitioned by [`Fragmentation::fragment_of_row`]
+//! into one [`ColumnarFragment`] per fragment number.  Each fragment keeps
+//!
+//! * its fact rows in columnar layout (one key column per dimension, one
+//!   value column per measure), and
+//! * one [`MaterialisedIndex`] per dimension built over *only its own rows* —
+//!   the materialised counterpart of the paper's fragment-aligned bitmap
+//!   fragments (§4): bit `i` of a fragment's bitmap refers to the `i`-th row
+//!   of that fragment, so fragments can be processed independently.
+
+use bitmap::{
+    BitmapFragmentation, FactRow, IndexCatalog, MaterialisedFactTable, MaterialisedIndex,
+};
+use mdhf::Fragmentation;
+use schema::{PageSizing, StarSchema};
+
+/// One fact fragment in columnar layout plus its fragment-aligned bitmap
+/// join indices.
+#[derive(Debug, Clone)]
+pub struct ColumnarFragment {
+    fragment_number: u64,
+    /// One column per schema dimension, each of `len()` leaf keys.
+    keys: Vec<Vec<u64>>,
+    /// One column per schema measure, each of `len()` values.
+    measures: Vec<Vec<f64>>,
+    /// One bitmap join index per dimension, covering only this fragment's rows.
+    indices: Vec<MaterialisedIndex>,
+}
+
+impl ColumnarFragment {
+    fn build(
+        schema: &StarSchema,
+        catalog: &IndexCatalog,
+        fragment_number: u64,
+        rows: Vec<FactRow>,
+        dimension_cardinalities: Vec<u64>,
+    ) -> Self {
+        let dimension_count = schema.dimension_count();
+        let measure_count = schema.fact().measures().len();
+        let mut keys: Vec<Vec<u64>> = (0..dimension_count)
+            .map(|_| Vec::with_capacity(rows.len()))
+            .collect();
+        let mut measures: Vec<Vec<f64>> = (0..measure_count)
+            .map(|_| Vec::with_capacity(rows.len()))
+            .collect();
+        for row in &rows {
+            for (column, &key) in keys.iter_mut().zip(&row.keys) {
+                column.push(key);
+            }
+            for (column, &value) in measures.iter_mut().zip(&row.measures) {
+                column.push(value);
+            }
+        }
+        let sub_table = MaterialisedFactTable::from_rows(rows, dimension_cardinalities);
+        let indices = (0..dimension_count)
+            .map(|d| MaterialisedIndex::build(schema, catalog, &sub_table, d))
+            .collect();
+        ColumnarFragment {
+            fragment_number,
+            keys,
+            measures,
+            indices,
+        }
+    }
+
+    /// The linear fragment number this fragment holds.
+    #[must_use]
+    pub fn fragment_number(&self) -> u64 {
+        self.fragment_number
+    }
+
+    /// Number of fact rows in this fragment.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.keys.first().map_or(0, Vec::len)
+    }
+
+    /// True if no fact row falls into this fragment.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The leaf-key column of dimension `dimension`.
+    #[must_use]
+    pub fn key_column(&self, dimension: usize) -> &[u64] {
+        &self.keys[dimension]
+    }
+
+    /// The value column of measure `measure`.
+    #[must_use]
+    pub fn measure_column(&self, measure: usize) -> &[f64] {
+        &self.measures[measure]
+    }
+
+    /// The fragment-aligned bitmap join index of dimension `dimension`.
+    #[must_use]
+    pub fn bitmap_index(&self, dimension: usize) -> &MaterialisedIndex {
+        &self.indices[dimension]
+    }
+}
+
+/// A fully materialised, MDHF-fragmented fact table with fragment-aligned
+/// bitmap join indices — the physical input of [`crate::StarJoinEngine`].
+#[derive(Debug, Clone)]
+pub struct FragmentStore {
+    schema: StarSchema,
+    fragmentation: Fragmentation,
+    catalog: IndexCatalog,
+    /// Dense, indexed by fragment number (empty fragments included).
+    fragments: Vec<ColumnarFragment>,
+    total_rows: usize,
+}
+
+impl FragmentStore {
+    /// Fragment-count ceiling for materialisation: a dense fragment directory
+    /// with per-fragment indices is only sensible for scaled-down warehouses.
+    pub const MAX_FRAGMENTS: u64 = 1_000_000;
+
+    /// Generates a fact table for `schema` from `seed` (via
+    /// [`MaterialisedFactTable::generate`]) and partitions it under
+    /// `fragmentation`.
+    #[must_use]
+    pub fn build(schema: &StarSchema, fragmentation: &Fragmentation, seed: u64) -> Self {
+        Self::from_table(
+            schema,
+            fragmentation,
+            &MaterialisedFactTable::generate(schema, seed),
+        )
+    }
+
+    /// Partitions an existing materialised table under `fragmentation`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fragmentation yields more than [`Self::MAX_FRAGMENTS`]
+    /// fragments.
+    #[must_use]
+    pub fn from_table(
+        schema: &StarSchema,
+        fragmentation: &Fragmentation,
+        table: &MaterialisedFactTable,
+    ) -> Self {
+        let fragment_count = fragmentation.fragment_count();
+        assert!(
+            fragment_count <= Self::MAX_FRAGMENTS,
+            "refusing to materialise {fragment_count} fragments; use a coarser fragmentation"
+        );
+        let catalog = IndexCatalog::default_for(schema);
+        let mut per_fragment: Vec<Vec<FactRow>> = vec![Vec::new(); fragment_count as usize];
+        for row in table.rows() {
+            let fragment = fragmentation.fragment_of_row(schema, &row.keys);
+            per_fragment[fragment as usize].push(row.clone());
+        }
+        let cards = table.dimension_cardinalities();
+        let fragments = per_fragment
+            .into_iter()
+            .enumerate()
+            .map(|(number, rows)| {
+                ColumnarFragment::build(schema, &catalog, number as u64, rows, cards.to_vec())
+            })
+            .collect();
+        FragmentStore {
+            schema: schema.clone(),
+            fragmentation: fragmentation.clone(),
+            catalog,
+            fragments,
+            total_rows: table.len(),
+        }
+    }
+
+    /// The schema the store was built for.
+    #[must_use]
+    pub fn schema(&self) -> &StarSchema {
+        &self.schema
+    }
+
+    /// The fragmentation the store is partitioned under.
+    #[must_use]
+    pub fn fragmentation(&self) -> &Fragmentation {
+        &self.fragmentation
+    }
+
+    /// The logical index catalog the per-fragment indices follow.
+    #[must_use]
+    pub fn catalog(&self) -> &IndexCatalog {
+        &self.catalog
+    }
+
+    /// Number of fragments (including empty ones).
+    #[must_use]
+    pub fn fragment_count(&self) -> u64 {
+        self.fragments.len() as u64
+    }
+
+    /// The fragment with the given linear fragment number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fragment_number` is out of range.
+    #[must_use]
+    pub fn fragment(&self, fragment_number: u64) -> &ColumnarFragment {
+        &self.fragments[usize::try_from(fragment_number).expect("fragment number fits usize")]
+    }
+
+    /// All fragments in fragment-number order.
+    #[must_use]
+    pub fn fragments(&self) -> &[ColumnarFragment] {
+        &self.fragments
+    }
+
+    /// Total number of materialised fact rows across all fragments.
+    #[must_use]
+    pub fn total_rows(&self) -> usize {
+        self.total_rows
+    }
+
+    /// Number of measures per fact row.
+    #[must_use]
+    pub fn measure_count(&self) -> usize {
+        self.schema.fact().measures().len()
+    }
+
+    /// The *logical* (full-scale) bitmap-fragment sizing this fragmentation
+    /// would have under the schema's page sizing — the quantity the
+    /// thresholds of §4.4 constrain.
+    #[must_use]
+    pub fn logical_bitmap_sizing(&self) -> BitmapFragmentation {
+        BitmapFragmentation::new(&PageSizing::new(&self.schema), self.fragment_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema::apb1::apb1_scaled_down;
+
+    fn store() -> FragmentStore {
+        let schema = apb1_scaled_down();
+        let fragmentation =
+            Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+        FragmentStore::build(&schema, &fragmentation, 2024)
+    }
+
+    #[test]
+    fn partitioning_conserves_rows_and_matches_fragment_of_row() {
+        let schema = apb1_scaled_down();
+        let fragmentation =
+            Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+        let table = MaterialisedFactTable::generate(&schema, 2024);
+        let store = FragmentStore::from_table(&schema, &fragmentation, &table);
+
+        assert_eq!(store.fragment_count(), fragmentation.fragment_count());
+        assert_eq!(store.total_rows(), table.len());
+        let sum: usize = store.fragments().iter().map(ColumnarFragment::len).sum();
+        assert_eq!(sum, table.len());
+
+        // Every row of every fragment maps back to that fragment.
+        for fragment in store.fragments() {
+            for row in 0..fragment.len() {
+                let keys: Vec<u64> = (0..schema.dimension_count())
+                    .map(|d| fragment.key_column(d)[row])
+                    .collect();
+                assert_eq!(
+                    fragmentation.fragment_of_row(&schema, &keys),
+                    fragment.fragment_number()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fragment_indices_agree_with_key_columns() {
+        let store = store();
+        let schema = store.schema().clone();
+        let product = schema.dimension_index("product").unwrap();
+        let group = schema.attr("product", "group").unwrap();
+        let hierarchy = schema.dimensions()[product].hierarchy().clone();
+        for fragment in store.fragments().iter().take(40) {
+            for value in 0..hierarchy.cardinality(group.level).min(3) {
+                let from_index: Vec<usize> = fragment
+                    .bitmap_index(product)
+                    .select(group.level, value)
+                    .iter_ones()
+                    .collect();
+                let range = hierarchy.leaf_range_of(group.level, value);
+                let from_column: Vec<usize> = fragment
+                    .key_column(product)
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, k)| range.contains(k))
+                    .map(|(i, _)| i)
+                    .collect();
+                assert_eq!(from_index, from_column);
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_layout_has_expected_shape() {
+        let store = store();
+        assert_eq!(store.measure_count(), 3);
+        let fragment = store
+            .fragments()
+            .iter()
+            .find(|f| !f.is_empty())
+            .expect("some fragment holds rows");
+        assert_eq!(fragment.key_column(0).len(), fragment.len());
+        assert_eq!(fragment.measure_column(2).len(), fragment.len());
+        assert!(fragment.measure_column(0).iter().all(|&m| m >= 1.0));
+        assert_eq!(
+            store.fragment(fragment.fragment_number()).len(),
+            fragment.len()
+        );
+    }
+
+    #[test]
+    fn logical_sizing_reuses_bitmap_fragment_arithmetic() {
+        let store = store();
+        let sizing = store.logical_bitmap_sizing();
+        assert_eq!(sizing.fragments(), store.fragment_count());
+        assert!(sizing.bits_per_fragment() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to materialise")]
+    fn too_fine_fragmentations_rejected() {
+        let schema = schema::apb1::apb1_schema();
+        let fragmentation = Fragmentation::parse(
+            &schema,
+            &["time::month", "product::code", "customer::store"],
+        )
+        .unwrap();
+        let table = MaterialisedFactTable::from_rows(vec![], vec![14_400, 1_440, 15, 24]);
+        let _ = FragmentStore::from_table(&schema, &fragmentation, &table);
+    }
+}

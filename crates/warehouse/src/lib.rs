@@ -13,6 +13,8 @@
 //!   declustering analysis,
 //! * [`storage`] — disk service-time model and LRU buffer manager,
 //! * [`workload`] — APB-1-style query types and generators,
+//! * [`exec`] — the multi-threaded parallel star-join execution engine over
+//!   materialised MDHF fragments (measured wall-clock speedup),
 //! * [`simpad`] — the Shared Disk discrete-event simulator,
 //! * [`simkit`] — the underlying simulation engine.
 //!
@@ -38,6 +40,7 @@
 
 pub use allocation;
 pub use bitmap;
+pub use exec;
 pub use mdhf;
 pub use schema;
 pub use simkit;
@@ -49,6 +52,9 @@ pub use workload;
 pub mod prelude {
     pub use allocation::{BitmapPlacement, PhysicalAllocation};
     pub use bitmap::{Bitmap, HierarchicalEncoding, IndexCatalog};
+    pub use exec::{
+        ExecConfig, ExecMetrics, FragmentStore, QueryPlan, QueryResult, StarJoinEngine,
+    };
     pub use mdhf::{
         classify, Advisor, AdvisorConfig, CostModel, Fragmentation, IoClass, QueryClass, StarQuery,
     };

@@ -1,16 +1,20 @@
-//! Bitmap star-join on a materialised (scaled-down) warehouse.
+//! Bitmap star-join on a materialised (scaled-down) warehouse, executed by
+//! the `exec` engine's serial path.
 //!
 //! The full-size APB-1 fact table is never materialised — the simulator works
 //! on cardinalities.  This example builds a scaled-down instance with real
-//! data, constructs the hierarchically encoded bitmap join indices of §3.2,
-//! executes a star query by AND-ing bitmaps, and cross-checks the result
-//! against a brute-force scan.  It also shows the MDHF fragment pruning on
-//! the same data.
+//! data, partitions it under `F_MonthGroup` into a [`FragmentStore`] with
+//! fragment-aligned bitmap join indices (§3.2/§4), and lets the
+//! [`StarJoinEngine`] plan and execute star queries: MDHF fragment pruning,
+//! bitmap-AND selection ([`Bitmap::and_many`]) and aggregation.  Results are
+//! cross-checked against a brute-force scan and against a multi-way
+//! intersection over *global* (unfragmented) bitmap indices.
 //!
 //! Run with `cargo run --release --example bitmap_star_join`.
 
-use warehouse::bitmap::{evaluate_star_query, MaterialisedFactTable, MaterialisedIndex};
+use warehouse::bitmap::{MaterialisedFactTable, MaterialisedIndex};
 use warehouse::prelude::*;
+use warehouse::workload::QueryType;
 
 fn main() {
     // A small APB-1-shaped warehouse that fits in memory.
@@ -22,65 +26,97 @@ fn main() {
         schema.fact().density() * 100.0
     );
 
-    // Build one bitmap join index per dimension (encoded for PRODUCT, simple
-    // for the small dimensions), as in §3.2.
-    let catalog = IndexCatalog::default_for(&schema);
-    let indices: Vec<MaterialisedIndex> = (0..schema.dimension_count())
-        .map(|d| MaterialisedIndex::build(&schema, &catalog, &table, d))
-        .collect();
-    for index in &indices {
+    // Partition it under the paper's standard fragmentation and build the
+    // fragment-aligned bitmap join indices (encoded for PRODUCT, simple for
+    // the small dimensions), as in §3.2/§4.
+    let fragmentation =
+        Fragmentation::parse(&schema, &["time::month", "product::group"]).expect("valid attrs");
+    let store = FragmentStore::from_table(&schema, &fragmentation, &table);
+    let engine = StarJoinEngine::new(store);
+    println!(
+        "FragmentStore: {} fragments under {}, {:.1} rows/fragment on average",
+        engine.store().fragment_count(),
+        fragmentation.describe(&schema),
+        engine.store().total_rows() as f64 / engine.store().fragment_count() as f64,
+    );
+    for dimension in 0..schema.dimension_count() {
         println!(
-            "  dimension {:9} -> {} bitmaps materialised",
-            schema.dimensions()[index.dimension()].name(),
-            index.materialised_bitmap_count()
+            "  dimension {:9} -> {:2} bitmaps per fragment",
+            schema.dimensions()[dimension].name(),
+            engine.store().catalog().spec(dimension).bitmap_count()
         );
     }
 
-    // A 1MONTH1GROUP-style star query: sum of UnitsSold for product group 1
-    // in month 3, evaluated by intersecting bitmaps.
+    // A 1MONTH1GROUP star query (month 3, product group 1): the MDHF planner
+    // prunes it to a single fragment and needs no bitmap at all (IOC1-opt).
+    let query = QueryType::OneMonthOneGroup.to_star_query(&schema);
+    let bound = BoundQuery::new(&schema, query, vec![3, 1]);
+    let plan = engine.plan(&bound);
+    println!();
+    println!(
+        "1MONTH1GROUP plan: {} of {} fragments, {} bitmap predicate(s), {:?}",
+        plan.fragments().len(),
+        engine.store().fragment_count(),
+        plan.bitmap_predicates().len(),
+        plan.classification().io_class,
+    );
+    let result = engine.execute_serial(&bound);
+    println!(
+        "1MONTH1GROUP result: {} hit rows, SUM(UnitsSold) = {}",
+        result.hits, result.measure_sums[0]
+    );
+
+    // Cross-check against a brute-force scan of the unfragmented table.
     let product = schema.dimension_index("product").expect("product");
     let time = schema.dimension_index("time").expect("time");
     let group = schema.attr("product", "group").expect("group attr");
-    let month = schema.attr("time", "month").expect("month attr");
-    let (hits, units_sold) = evaluate_star_query(
-        &table,
-        &indices,
-        &[(product, group.level, 1), (time, month.level, 3)],
-        0,
-    );
-    println!();
-    println!("1MONTH1GROUP via bitmap AND: {hits} hit rows, SUM(UnitsSold) = {units_sold}");
-
-    // Cross-check against a brute-force scan.
     let group_range = schema.dimensions()[product]
         .hierarchy()
         .leaf_range_of(group.level, 1);
     let mut predicates = vec![None, None, None, None];
     predicates[product] = Some(group_range);
     predicates[time] = Some(3..4);
-    let scan_hits = table.scan(&predicates).len();
+    let scan_hits = table.scan(&predicates).len() as u64;
     println!("Brute-force scan agrees: {scan_hits} hit rows");
-    assert_eq!(hits, scan_hits);
+    assert_eq!(result.hits, scan_hits);
 
-    // MDHF pruning on the same data: count how many fragments actually hold
-    // the query's rows under F_MonthGroup.
-    let fragmentation =
-        Fragmentation::parse(&schema, &["time::month", "product::group"]).expect("valid attrs");
-    let mut touched = std::collections::BTreeSet::new();
-    for row in table.rows() {
-        let frag = fragmentation.fragment_of_row(&schema, &row.keys);
-        let in_group = schema.dimensions()[product]
-            .hierarchy()
-            .ancestor_of_leaf(row.keys[product], group.level)
-            == 1;
-        if in_group && row.keys[time] == 3 {
-            touched.insert(frag);
-        }
-    }
-    println!(
-        "MDHF pruning: the query's rows live in {} of {} fragments (paper: exactly 1 per month/group pair)",
-        touched.len(),
-        fragmentation.fragment_count()
+    // A query the fragmentation does not fully support: 1CODE1QUARTER keeps a
+    // bitmap predicate for the product code (Q4, IOC2).
+    let bound = BoundQuery::new(
+        &schema,
+        QueryType::OneCodeOneQuarter.to_star_query(&schema),
+        vec![65, 2],
     );
-    assert!(touched.len() <= 1);
+    let plan = engine.plan(&bound);
+    let result = engine.execute_serial(&bound);
+    println!();
+    println!(
+        "1CODE1QUARTER plan: {} of {} fragments, {} bitmap predicate(s), {:?}",
+        plan.fragments().len(),
+        engine.store().fragment_count(),
+        plan.bitmap_predicates().len(),
+        plan.classification().io_class,
+    );
+    println!(
+        "1CODE1QUARTER result: {} hit rows, SUM(UnitsSold) = {}",
+        result.hits, result.measure_sums[0]
+    );
+
+    // Cross-check via global (unfragmented) bitmap indices: one selection
+    // bitmap per predicate, intersected with the multi-way Bitmap::and_many.
+    let catalog = engine.store().catalog().clone();
+    let indices: Vec<MaterialisedIndex> = (0..schema.dimension_count())
+        .map(|d| MaterialisedIndex::build(&schema, &catalog, &table, d))
+        .collect();
+    let selections: Vec<Bitmap> = bound
+        .query()
+        .predicates()
+        .iter()
+        .zip(bound.values())
+        .map(|(pred, &value)| indices[pred.attr.dimension].select(pred.attr.level, value))
+        .collect();
+    let refs: Vec<&Bitmap> = selections.iter().collect();
+    let global_hits = Bitmap::and_many(&refs).count_ones() as u64;
+    println!("Global bitmap AND (and_many) agrees: {global_hits} hit rows");
+    assert_eq!(result.hits, global_hits);
 }
