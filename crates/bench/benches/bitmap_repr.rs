@@ -1,0 +1,50 @@
+//! Criterion benches of the bitmap representation layer: k-way intersection
+//! under plain, WAH and adaptive representations, on a sparse clustered
+//! predicate mix (where the compressed domain should win or tie) and a
+//! mid-density random mix (where adaptive must fall back to plain speed).
+
+use bench_support::{random_bitmap, sparse_clustered_bitmap};
+use criterion::{criterion_group, criterion_main, Criterion};
+use warehouse::prelude::*;
+
+const N: usize = 1_000_000;
+const K: usize = 4;
+
+fn bench_mix(c: &mut Criterion, label: &str, bitmaps: &[Bitmap]) {
+    let plain_refs: Vec<&Bitmap> = bitmaps.iter().collect();
+    let wah: Vec<WahBitmap> = bitmaps.iter().map(WahBitmap::compress).collect();
+    let wah_refs: Vec<&WahBitmap> = wah.iter().collect();
+    let adaptive: Vec<BitmapRepr> = bitmaps
+        .iter()
+        .map(|b| BitmapRepr::from_bitmap(b.clone(), RepresentationPolicy::default()))
+        .collect();
+    let adaptive_refs: Vec<&BitmapRepr> = adaptive.iter().collect();
+
+    let mut group = c.benchmark_group(label);
+    group.bench_function("plain_and_many", |bencher| {
+        bencher.iter(|| std::hint::black_box(Bitmap::and_many(&plain_refs)))
+    });
+    group.bench_function("wah_and_many", |bencher| {
+        bencher.iter(|| std::hint::black_box(WahBitmap::and_many(&wah_refs)))
+    });
+    group.bench_function("adaptive_and_many", |bencher| {
+        bencher.iter(|| std::hint::black_box(BitmapRepr::and_many(&adaptive_refs)))
+    });
+    group.finish();
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    let bitmaps: Vec<Bitmap> = (0..K as u64)
+        .map(|s| sparse_clustered_bitmap(N, s))
+        .collect();
+    bench_mix(c, "repr_sparse_clustered_1pct", &bitmaps);
+}
+
+fn bench_mid_density(c: &mut Criterion) {
+    // ~50 % density, uniformly random — incompressible for WAH.
+    let bitmaps: Vec<Bitmap> = (0..K as u64).map(|s| random_bitmap(N, s, 2)).collect();
+    bench_mix(c, "repr_mid_random_50pct", &bitmaps);
+}
+
+criterion_group!(benches, bench_sparse, bench_mid_density);
+criterion_main!(benches);

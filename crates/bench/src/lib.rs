@@ -92,6 +92,47 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// Splitmix64-style mixing, for deterministic pseudo-random bit positions
+/// in the representation-study workloads.
+#[must_use]
+pub fn splitmix(seed: u64, value: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(value)
+        .wrapping_add(0x2545_F491_4F6C_DD1D);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An `n`-bit bitmap of ~1 % density in 512-bit runs — the clustered shape
+/// of selections on range-contiguous hierarchy values.  Shared by the
+/// `fig_bitmap_compression` binary and the `bitmap_repr` criterion bench.
+#[must_use]
+pub fn sparse_clustered_bitmap(n: usize, seed: u64) -> Bitmap {
+    let run = 512usize;
+    let stride = run * 100;
+    let mut bitmap = Bitmap::new(n);
+    let mut start = (splitmix(seed, 0) as usize) % stride;
+    while start < n {
+        for p in start..(start + run).min(n) {
+            bitmap.set(p, true);
+        }
+        start += stride;
+    }
+    bitmap
+}
+
+/// An `n`-bit bitmap whose bits are set uniformly at random with
+/// probability `1 / one_in` — incompressible for WAH beyond ~1.5 %.
+#[must_use]
+pub fn random_bitmap(n: usize, seed: u64, one_in: u64) -> Bitmap {
+    Bitmap::from_positions(
+        n,
+        (0..n).filter(|&i| splitmix(seed, i as u64).is_multiple_of(one_in)),
+    )
+}
+
 /// Prints a Markdown-ish table row with fixed column widths.
 pub fn print_row(cells: &[String], widths: &[usize]) {
     let rendered: Vec<String> = cells

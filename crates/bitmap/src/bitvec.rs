@@ -172,6 +172,34 @@ impl Bitmap {
         }
     }
 
+    /// In-place multi-way AND: intersects all `others` into `self` in a
+    /// single word-at-a-time pass.  Unlike [`Bitmap::and_many`] this
+    /// allocates nothing — the engine's per-fragment selection uses it to
+    /// fold every predicate bitmap into the first one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any length differs.
+    pub fn and_assign_many(&mut self, others: &[&Bitmap]) {
+        assert!(
+            others.iter().all(|b| b.len == self.len),
+            "bitmap length mismatch"
+        );
+        for (i, word) in self.words.iter_mut().enumerate() {
+            *word = others.iter().fold(*word, |acc, b| acc & b.words[i]);
+        }
+    }
+
+    /// Fraction of set bits, in `[0, 1]` (0 for an empty bitmap).
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
     /// Bitwise OR with another bitmap of the same length.
     #[must_use]
     pub fn or(&self, other: &Bitmap) -> Bitmap {
@@ -319,6 +347,34 @@ mod tests {
     #[should_panic(expected = "at least one bitmap")]
     fn and_many_rejects_empty_input() {
         let _ = Bitmap::and_many(&[]);
+    }
+
+    #[test]
+    fn and_assign_many_matches_and_many() {
+        let a = Bitmap::from_positions(200, (0..200).filter(|i| i % 2 == 0));
+        let b = Bitmap::from_positions(200, (0..200).filter(|i| i % 3 == 0));
+        let c = Bitmap::from_positions(200, (0..200).filter(|i| i % 5 == 0));
+        let mut acc = a.clone();
+        acc.and_assign_many(&[&b, &c]);
+        assert_eq!(acc, Bitmap::and_many(&[&a, &b, &c]));
+        let mut unchanged = a.clone();
+        unchanged.and_assign_many(&[]);
+        assert_eq!(unchanged, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn and_assign_many_rejects_length_mismatch() {
+        let mut a = Bitmap::new(10);
+        let b = Bitmap::new(11);
+        a.and_assign_many(&[&b]);
+    }
+
+    #[test]
+    fn density_is_fraction_of_ones() {
+        assert_eq!(Bitmap::new(0).density(), 0.0);
+        assert_eq!(Bitmap::ones(64).density(), 1.0);
+        assert!((Bitmap::from_positions(100, 0..25).density() - 0.25).abs() < 1e-12);
     }
 
     #[test]

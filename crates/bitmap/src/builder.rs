@@ -16,6 +16,7 @@ use schema::StarSchema;
 use crate::bitvec::Bitmap;
 use crate::encoding::HierarchicalEncoding;
 use crate::index::{BitmapIndexKind, BitmapIndexSpec, IndexCatalog};
+use crate::repr::{BitmapRepr, ReprStats, RepresentationPolicy};
 
 /// One materialised fact row: the leaf-level foreign key per dimension plus
 /// the measure values.
@@ -180,21 +181,28 @@ fn unrank(mut combo: u64, cards: &[u64]) -> Vec<u64> {
 
 /// A materialised bitmap join index for one dimension of a
 /// [`MaterialisedFactTable`].
+///
+/// Every bitmap is stored in its [`RepresentationPolicy`]-chosen
+/// representation ([`BitmapRepr`]): under the default adaptive policy the
+/// sparse per-value bitmaps of simple indices compress to WAH runs while
+/// the ~50 %-density bit slices of encoded indices stay plain.
 #[derive(Debug, Clone)]
 pub struct MaterialisedIndex {
     dimension: usize,
     spec: BitmapIndexSpec,
+    policy: RepresentationPolicy,
     /// For encoded indices: one bitmap per encoding bit (most significant /
     /// coarsest first).  For simple indices: bitmaps keyed by (level, value).
-    encoded_bitmaps: Vec<Bitmap>,
-    simple_bitmaps: HashMap<(usize, u64), Bitmap>,
+    encoded_bitmaps: Vec<BitmapRepr>,
+    simple_bitmaps: HashMap<(usize, u64), BitmapRepr>,
     encoding: Option<HierarchicalEncoding>,
     schema: StarSchema,
 }
 
 impl MaterialisedIndex {
     /// Builds the bitmap join index for dimension `dimension` of `table`,
-    /// using the index kind given by `catalog`.
+    /// using the index kind given by `catalog` and the default adaptive
+    /// representation policy.
     #[must_use]
     pub fn build(
         schema: &StarSchema,
@@ -202,51 +210,79 @@ impl MaterialisedIndex {
         table: &MaterialisedFactTable,
         dimension: usize,
     ) -> Self {
+        Self::build_with_policy(
+            schema,
+            catalog,
+            table,
+            dimension,
+            RepresentationPolicy::default(),
+        )
+    }
+
+    /// Builds the index with an explicit per-bitmap representation policy.
+    #[must_use]
+    pub fn build_with_policy(
+        schema: &StarSchema,
+        catalog: &IndexCatalog,
+        table: &MaterialisedFactTable,
+        dimension: usize,
+        policy: RepresentationPolicy,
+    ) -> Self {
         let spec = catalog.spec(dimension).clone();
         let n = table.len();
         let hierarchy = schema.dimensions()[dimension].hierarchy().clone();
 
         let mut encoded_bitmaps = Vec::new();
-        let mut simple_bitmaps: HashMap<(usize, u64), Bitmap> = HashMap::new();
+        let mut simple_bitmaps: HashMap<(usize, u64), BitmapRepr> = HashMap::new();
         let mut encoding = None;
 
         match spec.kind() {
             BitmapIndexKind::Encoded(enc) => {
                 let total = enc.total_bits() as usize;
-                encoded_bitmaps = vec![Bitmap::new(n); total];
+                let mut plain = vec![Bitmap::new(n); total];
                 for (row_idx, row) in table.rows().iter().enumerate() {
                     let pattern = enc.encode_leaf(row.keys[dimension]);
-                    for (bit, bitmap) in encoded_bitmaps.iter_mut().enumerate() {
+                    for (bit, bitmap) in plain.iter_mut().enumerate() {
                         let shift = total - 1 - bit;
                         if (pattern >> shift) & 1 == 1 {
                             bitmap.set(row_idx, true);
                         }
                     }
                 }
+                encoded_bitmaps = plain
+                    .into_iter()
+                    .map(|b| BitmapRepr::from_bitmap(b, policy))
+                    .collect();
                 encoding = Some(enc.clone());
             }
             BitmapIndexKind::Simple => {
+                let mut plain: HashMap<(usize, u64), Bitmap> = HashMap::new();
                 for level in 0..hierarchy.depth() {
                     for value in 0..hierarchy.cardinality(level) {
-                        simple_bitmaps.insert((level, value), Bitmap::new(n));
+                        plain.insert((level, value), Bitmap::new(n));
                     }
                 }
                 for (row_idx, row) in table.rows().iter().enumerate() {
                     let leaf = row.keys[dimension];
                     for level in 0..hierarchy.depth() {
                         let value = hierarchy.ancestor_of_leaf(leaf, level);
-                        simple_bitmaps
+                        plain
                             .get_mut(&(level, value))
                             .expect("bitmap pre-created")
                             .set(row_idx, true);
                     }
                 }
+                simple_bitmaps = plain
+                    .into_iter()
+                    .map(|(key, b)| (key, BitmapRepr::from_bitmap(b, policy)))
+                    .collect();
             }
         }
 
         MaterialisedIndex {
             dimension,
             spec,
+            policy,
             encoded_bitmaps,
             simple_bitmaps,
             encoding,
@@ -277,9 +313,16 @@ impl MaterialisedIndex {
     }
 
     /// Returns the bitmap of fact rows matching `value` at hierarchy `level`
-    /// (0 = coarsest), evaluating prefix bitmaps for encoded indices.
+    /// (0 = coarsest) in its stored representation.
+    ///
+    /// For simple indices this is a clone of the stored (possibly
+    /// compressed) per-value bitmap, so a query whose predicates all hit
+    /// simple indices can intersect entirely in the compressed domain.  For
+    /// encoded indices the selection is *computed* from the prefix bit
+    /// slices and returned plain — re-compressing a query-time temporary
+    /// would cost more than it saves.
     #[must_use]
-    pub fn select(&self, level: usize, value: u64) -> Bitmap {
+    pub fn select_repr(&self, level: usize, value: u64) -> BitmapRepr {
         match self.spec.kind() {
             BitmapIndexKind::Simple => self
                 .simple_bitmaps
@@ -288,22 +331,26 @@ impl MaterialisedIndex {
                 .unwrap_or_else(|| panic!("no bitmap for level {level} value {value}")),
             BitmapIndexKind::Encoded(_) => {
                 let enc = self.encoding.as_ref().expect("encoded index has encoding");
-                let n = self
-                    .encoded_bitmaps
-                    .first()
-                    .map_or(0, super::bitvec::Bitmap::len);
+                let n = self.encoded_bitmaps.first().map_or(0, BitmapRepr::len);
                 let mut result = Bitmap::ones(n);
                 for (bit, must_be_one) in enc.match_pattern(level, value) {
-                    let bm = &self.encoded_bitmaps[bit as usize];
+                    let bm = self.encoded_bitmaps[bit as usize].borrow_plain();
                     if must_be_one {
-                        result.and_assign(bm);
+                        result.and_assign(&bm);
                     } else {
                         result.and_assign(&bm.not());
                     }
                 }
-                result
+                BitmapRepr::Plain(result)
             }
         }
+    }
+
+    /// Returns the selection of [`MaterialisedIndex::select_repr`] as a
+    /// plain bitmap (decompressing if necessary).
+    #[must_use]
+    pub fn select(&self, level: usize, value: u64) -> Bitmap {
+        self.select_repr(level, value).into_plain()
     }
 
     /// Number of bitmaps that a selection on `level` has to read — must equal
@@ -311,6 +358,33 @@ impl MaterialisedIndex {
     #[must_use]
     pub fn bitmaps_read_for_selection(&self, level: usize) -> u64 {
         self.spec.bitmaps_for_selection(level)
+    }
+
+    /// The representation policy the index was built with.
+    #[must_use]
+    pub fn policy(&self) -> RepresentationPolicy {
+        self.policy
+    }
+
+    /// Storage statistics over every materialised bitmap: representation
+    /// counts, measured `size_bytes()` and the verbatim baseline.
+    #[must_use]
+    pub fn repr_stats(&self) -> ReprStats {
+        let mut stats = ReprStats::default();
+        for repr in &self.encoded_bitmaps {
+            stats.absorb(repr);
+        }
+        for repr in self.simple_bitmaps.values() {
+            stats.absorb(repr);
+        }
+        stats
+    }
+
+    /// Measured physical size of the index in bytes, summed over the chosen
+    /// representation of every bitmap.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.repr_stats().size_bytes
     }
 
     /// The schema the index was built against.
@@ -495,6 +569,59 @@ mod tests {
                 catalog.spec(idx.dimension()).bitmaps_for_selection(finest)
             );
         }
+    }
+
+    #[test]
+    fn representations_do_not_change_selections() {
+        let (schema, table, catalog, _) = setup();
+        let time = schema.dimension_index("time").unwrap();
+        let product = schema.dimension_index("product").unwrap();
+        let baseline = MaterialisedIndex::build_with_policy(
+            &schema,
+            &catalog,
+            &table,
+            time,
+            RepresentationPolicy::Plain,
+        );
+        for policy in [RepresentationPolicy::Wah, RepresentationPolicy::default()] {
+            for dimension in [time, product] {
+                let reference_index =
+                    MaterialisedIndex::build(&schema, &catalog, &table, dimension);
+                let index = MaterialisedIndex::build_with_policy(
+                    &schema, &catalog, &table, dimension, policy,
+                );
+                assert_eq!(index.policy(), policy);
+                let hierarchy = schema.dimensions()[dimension].hierarchy();
+                for level in 0..hierarchy.depth() {
+                    for value in 0..hierarchy.cardinality(level).min(3) {
+                        let reference = reference_index.select(level, value);
+                        assert_eq!(index.select(level, value), reference, "{policy:?}");
+                        assert_eq!(
+                            index.select_repr(level, value).to_plain(),
+                            reference,
+                            "{policy:?}"
+                        );
+                    }
+                }
+            }
+        }
+        // The forced-WAH time index stores every bitmap compressed; its
+        // stats reflect the chosen representation's measured bytes.
+        let wah_time = MaterialisedIndex::build_with_policy(
+            &schema,
+            &catalog,
+            &table,
+            time,
+            RepresentationPolicy::Wah,
+        );
+        let stats = wah_time.repr_stats();
+        assert_eq!(stats.bitmaps, wah_time.materialised_bitmap_count());
+        assert_eq!(stats.compressed, stats.bitmaps);
+        assert_eq!(wah_time.size_bytes(), stats.size_bytes);
+        assert_eq!(
+            baseline.repr_stats().plain_size_bytes,
+            stats.plain_size_bytes
+        );
     }
 
     #[test]

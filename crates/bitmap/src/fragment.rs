@@ -15,15 +15,24 @@ use schema::PageSizing;
 use crate::bitvec::Bitmap;
 
 /// Sizing of bitmap fragments for an `n`-fragment fact-table fragmentation.
+///
+/// By default sizes are verbatim (one bit per fact row).  When the bitmaps
+/// are stored in a compressed representation, a *measured* compression
+/// ratio ([`BitmapFragmentation::with_compression_ratio`]) scales the
+/// physical byte/page figures so analytic page counts reflect what the
+/// chosen representation actually occupies.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BitmapFragmentation {
     fragments: u64,
     fact_rows: u64,
     page_size_bytes: u64,
+    /// Verbatim bytes over stored bytes; 1.0 = uncompressed.
+    compression_ratio: f64,
 }
 
 impl BitmapFragmentation {
-    /// Creates sizing information for `fragments` fact fragments.
+    /// Creates sizing information for `fragments` fact fragments with
+    /// verbatim (uncompressed) bitmap sizes.
     ///
     /// # Panics
     ///
@@ -35,7 +44,31 @@ impl BitmapFragmentation {
             fragments,
             fact_rows: sizing.fact_rows(),
             page_size_bytes: sizing.page_size_bytes(),
+            compression_ratio: 1.0,
         }
+    }
+
+    /// Applies a measured compression ratio (verbatim bytes over stored
+    /// bytes, e.g. from [`crate::ReprStats::compression_ratio`]) to the
+    /// physical byte/page figures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not strictly positive and finite.
+    #[must_use]
+    pub fn with_compression_ratio(mut self, ratio: f64) -> Self {
+        assert!(
+            ratio.is_finite() && ratio > 0.0,
+            "compression ratio must be positive and finite"
+        );
+        self.compression_ratio = ratio;
+        self
+    }
+
+    /// The applied compression ratio (1.0 = verbatim).
+    #[must_use]
+    pub fn compression_ratio(&self) -> f64 {
+        self.compression_ratio
     }
 
     /// Number of fact (and therefore bitmap) fragments.
@@ -44,16 +77,17 @@ impl BitmapFragmentation {
         self.fragments
     }
 
-    /// Average number of fact rows (bits) per fragment.
+    /// Average number of fact rows (*logical* bits) per fragment —
+    /// unaffected by compression.
     #[must_use]
     pub fn bits_per_fragment(&self) -> f64 {
         self.fact_rows as f64 / self.fragments as f64
     }
 
-    /// Average bitmap-fragment size in bytes.
+    /// Average *stored* bitmap-fragment size in bytes, after compression.
     #[must_use]
     pub fn bytes_per_fragment(&self) -> f64 {
-        self.bits_per_fragment() / 8.0
+        self.bits_per_fragment() / 8.0 / self.compression_ratio
     }
 
     /// Average bitmap-fragment size in pages (fractional) — the quantity
@@ -142,6 +176,34 @@ mod tests {
         assert!((f.bits_per_fragment() - 1_866_240.0).abs() < 1.0);
         assert!((f.bytes_per_fragment() * 8.0 - f.bits_per_fragment()).abs() < 1e-6);
         assert_eq!(f.fragments(), 1_000);
+        assert_eq!(f.compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn compression_ratio_scales_physical_sizes_only() {
+        let sizing = PageSizing::new(&apb1_schema());
+        let verbatim = BitmapFragmentation::new(&sizing, 11_520);
+        let compressed = verbatim.with_compression_ratio(4.0);
+        assert_eq!(compressed.compression_ratio(), 4.0);
+        // Logical bits are untouched; physical bytes/pages shrink 4x.
+        assert_eq!(compressed.bits_per_fragment(), verbatim.bits_per_fragment());
+        assert!(
+            (compressed.bytes_per_fragment() * 4.0 - verbatim.bytes_per_fragment()).abs() < 1e-6
+        );
+        assert!(
+            (compressed.pages_per_fragment() * 4.0 - verbatim.pages_per_fragment()).abs() < 1e-9
+        );
+        // 4.94 pages verbatim -> 1.23 compressed -> 2 whole pages, 1 I/O.
+        assert_eq!(compressed.whole_pages_per_fragment(), 2);
+        assert_eq!(compressed.io_ops_per_fragment(5), 1);
+        assert_eq!(compressed.io_ops_per_fragment(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn non_positive_compression_ratio_rejected() {
+        let sizing = PageSizing::new(&apb1_schema());
+        let _ = BitmapFragmentation::new(&sizing, 10).with_compression_ratio(0.0);
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //!
 //! * [`bitvec::Bitmap`] — an uncompressed bitmap with the Boolean operations
 //!   used by star-join processing,
-//! * [`wah::WahBitmap`] — a word-aligned-hybrid compressed representation,
+//! * [`wah::WahBitmap`] — a word-aligned-hybrid compressed representation
+//!   with compressed-domain AND/OR/iteration (no decompress round-trips),
+//! * [`repr::BitmapRepr`] / [`repr::RepresentationPolicy`] — the adaptive
+//!   (density-threshold-driven) per-bitmap choice between the two, used by
+//!   every materialised index,
 //! * [`encoding::HierarchicalEncoding`] — the per-level bit layout of an
 //!   encoded bitmap index derived from a dimension hierarchy,
 //! * [`index::BitmapIndexSpec`] / [`index::IndexCatalog`] — the logical
@@ -29,6 +33,7 @@ pub mod builder;
 pub mod encoding;
 pub mod fragment;
 pub mod index;
+pub mod repr;
 pub mod wah;
 
 pub use bitvec::Bitmap;
@@ -36,4 +41,43 @@ pub use builder::{evaluate_star_query, FactRow, MaterialisedFactTable, Materiali
 pub use encoding::HierarchicalEncoding;
 pub use fragment::BitmapFragmentation;
 pub use index::{BitmapIndexKind, BitmapIndexSpec, IndexCatalog};
+pub use repr::{BitmapRepr, ReprStats, RepresentationPolicy};
 pub use wah::WahBitmap;
+
+#[cfg(test)]
+pub(crate) mod test_shapes {
+    use crate::bitvec::Bitmap;
+
+    /// A bitmap drawn from one of four shapes, together exercising every
+    /// WAH run kind: all-zero, all-one, seeded pseudo-random scatter, and a
+    /// clustered run of ones over a zero background.  Shared by the
+    /// property tests of [`crate::wah`] and [`crate::repr`].
+    pub(crate) fn shaped_bitmap(
+        len: usize,
+        shape: u8,
+        run_start: usize,
+        run_len: usize,
+        seed: u64,
+    ) -> Bitmap {
+        match shape % 4 {
+            0 => Bitmap::new(len),
+            1 => Bitmap::ones(len),
+            2 => Bitmap::from_positions(
+                len,
+                (0..len).filter(|&i| {
+                    (i as u64)
+                        .wrapping_mul(0x9E37_79B9)
+                        .wrapping_add(seed)
+                        .is_multiple_of(7)
+                }),
+            ),
+            _ => {
+                let mut b = Bitmap::new(len);
+                for p in run_start..(run_start + run_len).min(len) {
+                    b.set(p, true);
+                }
+                b
+            }
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! Adaptive bitmap representations: plain vs. WAH-compressed, per bitmap.
+//!
+//! The paper sizes its bitmap join indices as if every bitmap were stored
+//! verbatim, noting only that the overhead "may be reduced by compressing
+//! the bitmaps".  This module makes the whole stack representation-aware:
+//! a [`BitmapRepr`] is either an uncompressed [`Bitmap`] or a compressed
+//! [`WahBitmap`], and a [`RepresentationPolicy`] decides — per bitmap, at
+//! index-build time — which form to keep.
+//!
+//! The adaptive policy is **density-threshold-driven**: bitmaps whose
+//! density `d` satisfies `min(d, 1 - d) <= max_density` are candidates for
+//! compression (sparse bitmaps compress through zero fills, near-full ones
+//! through one fills) and are stored compressed when the WAH form wins by
+//! at least [`RepresentationPolicy::MIN_COMPRESSION_GAIN`]; mid-density
+//! bitmaps — e.g. the ~50 %-density bit slices of a hierarchically encoded
+//! index — skip the compression attempt entirely and stay on the plain
+//! fast path.
+//!
+//! Boolean operations stay in the compressed domain whenever every operand
+//! is compressed ([`WahBitmap::and_many`]); mixed operand sets fall back to
+//! the plain domain.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitvec::Bitmap;
+use crate::wah::WahBitmap;
+
+/// How bitmaps of an index are physically represented.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RepresentationPolicy {
+    /// Every bitmap is stored verbatim.
+    Plain,
+    /// Every bitmap is stored WAH-compressed, even when that is larger.
+    Wah,
+    /// Density-threshold-driven choice per bitmap: compress when
+    /// `min(density, 1 - density) <= max_density` *and* the compressed form
+    /// wins by at least [`RepresentationPolicy::MIN_COMPRESSION_GAIN`];
+    /// keep plain otherwise.
+    Adaptive {
+        /// The density threshold gating the compression attempt.
+        max_density: f64,
+    },
+}
+
+impl RepresentationPolicy {
+    /// Default density threshold of the adaptive policy.
+    ///
+    /// With 63-bit WAH groups, uniformly random bitmaps denser than ~1.5 %
+    /// rarely produce fills, so compression only pays off below that or for
+    /// *clustered* bit patterns; 0.1 admits the clustered shapes (hierarchy
+    /// ranges, fragment-aligned selections) while the size check rejects
+    /// incompressible random ones.
+    pub const DEFAULT_MAX_DENSITY: f64 = 0.1;
+
+    /// Minimum size win required before the adaptive policy keeps the
+    /// compressed form.
+    ///
+    /// Compressed-domain intersection costs more per *word* than the plain
+    /// word-parallel AND, so a marginal size win (say 1.3x) would trade a
+    /// little memory for a much slower hot path.  Requiring at least a 2x
+    /// reduction keeps weakly compressible bitmaps (scattered sparse or
+    /// near-full patterns) on the plain fast path while still capturing
+    /// the order-of-magnitude wins of clustered runs.
+    pub const MIN_COMPRESSION_GAIN: f64 = 2.0;
+
+    /// The adaptive policy with the default density threshold.
+    #[must_use]
+    pub fn adaptive() -> Self {
+        RepresentationPolicy::Adaptive {
+            max_density: Self::DEFAULT_MAX_DENSITY,
+        }
+    }
+}
+
+impl Default for RepresentationPolicy {
+    fn default() -> Self {
+        Self::adaptive()
+    }
+}
+
+/// One bitmap in its chosen physical representation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BitmapRepr {
+    /// Uncompressed, one bit per fact row.
+    Plain(Bitmap),
+    /// WAH-compressed runs.
+    Wah(WahBitmap),
+}
+
+impl BitmapRepr {
+    /// Chooses the representation of `bitmap` under `policy`.
+    #[must_use]
+    pub fn from_bitmap(bitmap: Bitmap, policy: RepresentationPolicy) -> Self {
+        match policy {
+            RepresentationPolicy::Plain => BitmapRepr::Plain(bitmap),
+            RepresentationPolicy::Wah => BitmapRepr::Wah(WahBitmap::compress(&bitmap)),
+            RepresentationPolicy::Adaptive { max_density } => {
+                let d = bitmap.density();
+                if d.min(1.0 - d) <= max_density {
+                    let wah = WahBitmap::compress(&bitmap);
+                    if wah.size_bytes() as f64 * RepresentationPolicy::MIN_COMPRESSION_GAIN
+                        <= bitmap.size_bytes() as f64
+                    {
+                        return BitmapRepr::Wah(wah);
+                    }
+                }
+                BitmapRepr::Plain(bitmap)
+            }
+        }
+    }
+
+    /// Number of rows covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            BitmapRepr::Plain(b) => b.len(),
+            BitmapRepr::Wah(w) => w.len(),
+        }
+    }
+
+    /// True when covering zero rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when stored WAH-compressed.
+    #[must_use]
+    pub fn is_compressed(&self) -> bool {
+        matches!(self, BitmapRepr::Wah(_))
+    }
+
+    /// Number of set bits (computed without decompression).
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        match self {
+            BitmapRepr::Plain(b) => b.count_ones(),
+            BitmapRepr::Wah(w) => w.count_ones(),
+        }
+    }
+
+    /// Fraction of set bits, in `[0, 1]` (0 for an empty bitmap).
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        match self {
+            BitmapRepr::Plain(b) => b.density(),
+            BitmapRepr::Wah(w) => w.density(),
+        }
+    }
+
+    /// Physical size of the chosen representation in bytes — the quantity
+    /// the cost model and page sizing consume.
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            BitmapRepr::Plain(b) => b.size_bytes(),
+            BitmapRepr::Wah(w) => w.size_bytes(),
+        }
+    }
+
+    /// Size the bitmap would occupy if stored verbatim.
+    #[must_use]
+    pub fn plain_size_bytes(&self) -> usize {
+        self.len().div_ceil(64) * 8
+    }
+
+    /// The plain form: a move for [`BitmapRepr::Plain`], a decompression for
+    /// [`BitmapRepr::Wah`].
+    #[must_use]
+    pub fn into_plain(self) -> Bitmap {
+        match self {
+            BitmapRepr::Plain(b) => b,
+            BitmapRepr::Wah(w) => w.decompress(),
+        }
+    }
+
+    /// A plain copy (decompressing if needed).
+    #[must_use]
+    pub fn to_plain(&self) -> Bitmap {
+        self.clone().into_plain()
+    }
+
+    /// Borrows the compressed form, if this is the compressed representation.
+    #[must_use]
+    pub fn as_wah(&self) -> Option<&WahBitmap> {
+        match self {
+            BitmapRepr::Wah(w) => Some(w),
+            BitmapRepr::Plain(_) => None,
+        }
+    }
+
+    /// Multi-way intersection over representations: stays entirely in the
+    /// compressed domain when every operand is compressed, otherwise falls
+    /// back to a plain-domain intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reprs` is empty or the lengths differ.
+    #[must_use]
+    pub fn and_many(reprs: &[&BitmapRepr]) -> BitmapRepr {
+        assert!(!reprs.is_empty(), "and_many needs at least one bitmap");
+        if reprs.iter().all(|r| r.is_compressed()) {
+            let wahs: Vec<&WahBitmap> = reprs.iter().filter_map(|r| r.as_wah()).collect();
+            return BitmapRepr::Wah(WahBitmap::and_many(&wahs));
+        }
+        // Mixed operands: borrow plain ones, decompress only the WAH ones.
+        let plain: Vec<std::borrow::Cow<'_, Bitmap>> =
+            reprs.iter().map(|r| r.borrow_plain()).collect();
+        let refs: Vec<&Bitmap> = plain.iter().map(std::convert::AsRef::as_ref).collect();
+        BitmapRepr::Plain(Bitmap::and_many(&refs))
+    }
+
+    /// Consuming multi-way intersection — the hot-path variant used by the
+    /// execution engine's per-fragment selection: stays entirely in the
+    /// compressed domain when every operand is compressed, otherwise folds
+    /// every further operand into the first operand's plain form **in
+    /// place** ([`Bitmap::and_assign_many`]), with no per-operand result
+    /// allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reprs` is empty or the lengths differ.
+    #[must_use]
+    pub fn and_many_owned(reprs: Vec<BitmapRepr>) -> BitmapRepr {
+        assert!(!reprs.is_empty(), "and_many needs at least one bitmap");
+        if reprs.iter().all(BitmapRepr::is_compressed) {
+            let wahs: Vec<&WahBitmap> = reprs.iter().filter_map(BitmapRepr::as_wah).collect();
+            return BitmapRepr::Wah(WahBitmap::and_many(&wahs));
+        }
+        let mut reprs = reprs.into_iter();
+        let mut acc = reprs.next().expect("checked non-empty").into_plain();
+        let rest: Vec<Bitmap> = reprs.map(BitmapRepr::into_plain).collect();
+        let rest_refs: Vec<&Bitmap> = rest.iter().collect();
+        acc.and_assign_many(&rest_refs);
+        BitmapRepr::Plain(acc)
+    }
+
+    /// Union of two representations, compressed-domain when both operands
+    /// are compressed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn or(&self, other: &BitmapRepr) -> BitmapRepr {
+        match (self, other) {
+            (BitmapRepr::Wah(a), BitmapRepr::Wah(b)) => BitmapRepr::Wah(a.or(b)),
+            _ => {
+                let a = self.borrow_plain();
+                let b = other.borrow_plain();
+                BitmapRepr::Plain(a.or(&b))
+            }
+        }
+    }
+
+    /// Borrows the plain form when stored plain, decompressing otherwise.
+    pub(crate) fn borrow_plain(&self) -> std::borrow::Cow<'_, Bitmap> {
+        match self {
+            BitmapRepr::Plain(b) => std::borrow::Cow::Borrowed(b),
+            BitmapRepr::Wah(w) => std::borrow::Cow::Owned(w.decompress()),
+        }
+    }
+
+    /// Iterates over set-bit positions in ascending order, without
+    /// decompressing compressed representations.
+    pub fn iter_ones(&self) -> Box<dyn Iterator<Item = usize> + '_> {
+        match self {
+            BitmapRepr::Plain(b) => Box::new(b.iter_ones()),
+            BitmapRepr::Wah(w) => Box::new(w.iter_ones()),
+        }
+    }
+}
+
+/// Aggregate storage statistics over a set of [`BitmapRepr`]s — how many
+/// bitmaps chose which representation and how many bytes that saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReprStats {
+    /// Total bitmaps counted.
+    pub bitmaps: usize,
+    /// Bitmaps stored WAH-compressed.
+    pub compressed: usize,
+    /// Total physical bytes of the chosen representations.
+    pub size_bytes: usize,
+    /// Total bytes a verbatim (plain) representation would occupy.
+    pub plain_size_bytes: usize,
+}
+
+impl ReprStats {
+    /// Accounts for one more bitmap.
+    pub fn absorb(&mut self, repr: &BitmapRepr) {
+        self.bitmaps += 1;
+        if repr.is_compressed() {
+            self.compressed += 1;
+        }
+        self.size_bytes += repr.size_bytes();
+        self.plain_size_bytes += repr.plain_size_bytes();
+    }
+
+    /// Merges another aggregate into this one.
+    pub fn merge(&mut self, other: ReprStats) {
+        self.bitmaps += other.bitmaps;
+        self.compressed += other.compressed;
+        self.size_bytes += other.size_bytes;
+        self.plain_size_bytes += other.plain_size_bytes;
+    }
+
+    /// Measured compression ratio: verbatim bytes over chosen-representation
+    /// bytes (1.0 for an empty set; values > 1 mean compression won).
+    #[must_use]
+    pub fn compression_ratio(&self) -> f64 {
+        if self.size_bytes == 0 {
+            1.0
+        } else {
+            self.plain_size_bytes as f64 / self.size_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse(n: usize) -> Bitmap {
+        Bitmap::from_positions(n, (0..n).filter(|i| i % 1_000 == 0))
+    }
+
+    fn mid_random(n: usize) -> Bitmap {
+        Bitmap::from_positions(n, (0..n).filter(|i| i % 2 == 0))
+    }
+
+    #[test]
+    fn adaptive_compresses_sparse_keeps_mid_density_plain() {
+        let n = 100_000;
+        let policy = RepresentationPolicy::default();
+        let s = BitmapRepr::from_bitmap(sparse(n), policy);
+        assert!(s.is_compressed());
+        assert!(s.size_bytes() < s.plain_size_bytes() / 3);
+
+        let m = BitmapRepr::from_bitmap(mid_random(n), policy);
+        assert!(!m.is_compressed());
+        assert_eq!(m.size_bytes(), m.plain_size_bytes());
+
+        // Near-full bitmaps compress through one fills.
+        let dense = BitmapRepr::from_bitmap(Bitmap::ones(n), policy);
+        assert!(dense.is_compressed());
+        assert!(dense.size_bytes() < 64);
+    }
+
+    #[test]
+    fn adaptive_rejects_incompressible_sparse_random() {
+        // ~6 % density with no clustering: under the density gate, but WAH
+        // literals would not shrink it — the size check keeps it plain.
+        let n = 100_000;
+        let b = Bitmap::from_positions(n, (0..n).filter(|i| i % 17 == 0));
+        let repr = BitmapRepr::from_bitmap(b, RepresentationPolicy::default());
+        assert!(!repr.is_compressed());
+    }
+
+    #[test]
+    fn forced_policies_override_the_chooser() {
+        let n = 10_000;
+        let w = BitmapRepr::from_bitmap(mid_random(n), RepresentationPolicy::Wah);
+        assert!(w.is_compressed());
+        let p = BitmapRepr::from_bitmap(sparse(n), RepresentationPolicy::Plain);
+        assert!(!p.is_compressed());
+    }
+
+    #[test]
+    fn operations_agree_across_representations() {
+        let n = 20_000;
+        let a = sparse(n);
+        let b = Bitmap::from_positions(n, 5_000..9_000);
+        for policy in [
+            RepresentationPolicy::Plain,
+            RepresentationPolicy::Wah,
+            RepresentationPolicy::default(),
+        ] {
+            let ra = BitmapRepr::from_bitmap(a.clone(), policy);
+            let rb = BitmapRepr::from_bitmap(b.clone(), policy);
+            let and = BitmapRepr::and_many(&[&ra, &rb]);
+            assert_eq!(and.to_plain(), a.and(&b), "{policy:?}");
+            assert_eq!(
+                and.iter_ones().collect::<Vec<_>>(),
+                a.and(&b).iter_ones().collect::<Vec<_>>(),
+                "{policy:?}"
+            );
+            assert_eq!(ra.or(&rb).to_plain(), a.or(&b), "{policy:?}");
+            assert_eq!(ra.count_ones(), a.count_ones());
+            assert_eq!(ra.len(), n);
+            assert!(!ra.is_empty());
+        }
+    }
+
+    #[test]
+    fn mixed_operands_fall_back_to_plain() {
+        let n = 8_000;
+        let wah = BitmapRepr::from_bitmap(sparse(n), RepresentationPolicy::Wah);
+        let plain = BitmapRepr::from_bitmap(mid_random(n), RepresentationPolicy::Plain);
+        let and = BitmapRepr::and_many(&[&wah, &plain]);
+        assert!(!and.is_compressed());
+        assert_eq!(and.to_plain(), sparse(n).and(&mid_random(n)));
+    }
+
+    #[test]
+    fn stats_accumulate_and_measure_compression() {
+        let n = 100_000;
+        let mut stats = ReprStats::default();
+        assert_eq!(stats.compression_ratio(), 1.0);
+        let policy = RepresentationPolicy::default();
+        stats.absorb(&BitmapRepr::from_bitmap(sparse(n), policy));
+        stats.absorb(&BitmapRepr::from_bitmap(mid_random(n), policy));
+        assert_eq!(stats.bitmaps, 2);
+        assert_eq!(stats.compressed, 1);
+        assert!(stats.size_bytes < stats.plain_size_bytes);
+        assert!(stats.compression_ratio() > 1.0);
+
+        let mut merged = ReprStats::default();
+        merged.merge(stats);
+        merged.merge(stats);
+        assert_eq!(merged.bitmaps, 4);
+        assert_eq!(merged.plain_size_bytes, 2 * stats.plain_size_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bitmap")]
+    fn and_many_rejects_empty_input() {
+        let _ = BitmapRepr::and_many(&[]);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The chooser never loses information and the adaptive form is
+        /// never larger than the plain one.
+        #[test]
+        fn prop_chooser_is_lossless_and_never_larger(
+            len in 0usize..2_000,
+            run_start in 0usize..2_000,
+            run_len in 0usize..2_000,
+            shape in 0u8..4,
+            seed in 0u64..1_000,
+        ) {
+            let bitmap = crate::test_shapes::shaped_bitmap(len, shape, run_start, run_len, seed);
+            let adaptive = BitmapRepr::from_bitmap(bitmap.clone(), RepresentationPolicy::default());
+            prop_assert_eq!(adaptive.to_plain(), bitmap.clone());
+            prop_assert!(adaptive.size_bytes() <= bitmap.size_bytes());
+            prop_assert_eq!(adaptive.count_ones(), bitmap.count_ones());
+            let forced = BitmapRepr::from_bitmap(bitmap.clone(), RepresentationPolicy::Wah);
+            prop_assert_eq!(forced.to_plain(), bitmap);
+        }
+    }
+}

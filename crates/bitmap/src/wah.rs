@@ -4,8 +4,16 @@
 //! reduced by compressing the bitmaps".  This module provides a 64-bit
 //! word-aligned hybrid scheme: runs of all-zero or all-one 63-bit groups are
 //! collapsed into fill words, everything else is stored as literal words.
-//! The compressed form supports loss-free round-tripping and an AND operation
-//! that works directly on the compressed representation via iteration.
+//! The compressed form supports loss-free round-tripping and — crucially for
+//! the star-join hot path — Boolean operations ([`WahBitmap::and_many`],
+//! [`WahBitmap::or_many`]) and set-bit iteration ([`WahBitmap::iter_ones`])
+//! that work *directly on the runs*, without any decompress round-trip: a
+//! zero fill in any AND operand lets the whole intersection skip that run.
+//!
+//! All `WahBitmap`s in the system are kept in *canonical* form (adjacent
+//! fills merged, full all-zero/all-one groups stored as fills, a partial
+//! tail group always stored as a literal), so structural equality coincides
+//! with logical equality.
 
 use serde::{Deserialize, Serialize};
 
@@ -15,6 +23,7 @@ const GROUP_BITS: usize = 63;
 const LITERAL_FLAG: u64 = 1 << 63;
 const FILL_VALUE_FLAG: u64 = 1 << 62;
 const MAX_FILL_LEN: u64 = (1 << 62) - 1;
+const FULL_GROUP: u64 = (1u64 << GROUP_BITS) - 1;
 
 /// A WAH-compressed bitmap.
 ///
@@ -134,11 +143,14 @@ impl WahBitmap {
         let mut bit_pos = 0usize;
         for &w in &self.words {
             if w & LITERAL_FLAG != 0 {
-                count += (w & !LITERAL_FLAG).count_ones() as usize;
-                bit_pos += GROUP_BITS.min(self.len - bit_pos);
+                // Mask bits beyond `len`, which non-canonical (deserialized)
+                // tail literals may carry.
+                let valid = self.len.saturating_sub(bit_pos).min(GROUP_BITS);
+                count += (w & (FULL_GROUP >> (GROUP_BITS - valid))).count_ones() as usize;
+                bit_pos += valid;
             } else {
                 let groups = (w & MAX_FILL_LEN) as usize;
-                let bits = (groups * GROUP_BITS).min(self.len - bit_pos);
+                let bits = (groups * GROUP_BITS).min(self.len.saturating_sub(bit_pos));
                 if w & FILL_VALUE_FLAG != 0 {
                     count += bits;
                 }
@@ -162,13 +174,374 @@ impl WahBitmap {
         uncompressed as f64 / self.size_bytes().max(1) as f64
     }
 
-    /// Logical AND of two compressed bitmaps (decompress-free semantics are
-    /// not required by the simulator, so this uses the simple decompress
-    /// path; it exists so callers can stay in the compressed domain).
+    /// Fraction of set bits, in `[0, 1]` (0 for an empty bitmap).
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// Logical AND of two compressed bitmaps, computed entirely in the
+    /// compressed domain (no decompress round-trip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
     #[must_use]
     pub fn and(&self, other: &WahBitmap) -> WahBitmap {
-        assert_eq!(self.len, other.len, "bitmap length mismatch");
-        WahBitmap::compress(&self.decompress().and(&other.decompress()))
+        WahBitmap::and_many(&[self, other])
+    }
+
+    /// Logical OR of two compressed bitmaps, computed entirely in the
+    /// compressed domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn or(&self, other: &WahBitmap) -> WahBitmap {
+        WahBitmap::or_many(&[self, other])
+    }
+
+    /// Multi-way intersection over the compressed representations — the
+    /// compressed-domain counterpart of [`Bitmap::and_many`].
+    ///
+    /// Runs in lockstep over all operands: a zero fill in *any* operand
+    /// advances every cursor by the whole run, so sparse clustered bitmaps
+    /// intersect in time proportional to their compressed size rather than
+    /// their logical length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bitmaps` is empty or the lengths differ.
+    #[must_use]
+    pub fn and_many(bitmaps: &[&WahBitmap]) -> WahBitmap {
+        let first = *bitmaps.first().expect("and_many needs at least one bitmap");
+        Self::merge_many(bitmaps, first.len, false)
+    }
+
+    /// Multi-way union over the compressed representations — the dual of
+    /// [`WahBitmap::and_many`]: a one fill in *any* operand advances every
+    /// cursor by the whole run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bitmaps` is empty or the lengths differ.
+    #[must_use]
+    pub fn or_many(bitmaps: &[&WahBitmap]) -> WahBitmap {
+        let first = *bitmaps.first().expect("or_many needs at least one bitmap");
+        Self::merge_many(bitmaps, first.len, true)
+    }
+
+    /// The lockstep run-merging loop shared by [`WahBitmap::and_many`]
+    /// (`absorbing = false`: a zero fill in any operand forces zeros) and
+    /// [`WahBitmap::or_many`] (`absorbing = true`: a one fill forces ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand lengths differ from `len`.
+    fn merge_many(bitmaps: &[&WahBitmap], len: usize, absorbing: bool) -> WahBitmap {
+        assert!(
+            bitmaps.iter().all(|b| b.len == len),
+            "bitmap length mismatch"
+        );
+        let mut out = WahAppender::new(len);
+        let mut cursors: Vec<RunCursor> =
+            bitmaps.iter().map(|b| RunCursor::new(&b.words)).collect();
+        while out.remaining() > 0 {
+            let mut identity_step = out.remaining();
+            let mut absorbing_step: Option<u64> = None;
+            let mut literal_acc = if absorbing { 0 } else { FULL_GROUP };
+            let mut has_literal = false;
+            for cursor in &cursors {
+                // A cursor past the end of a truncated (non-canonical, e.g.
+                // deserialized) word stream reads as zeros to the end,
+                // matching `decompress`.
+                let run = cursor.current.unwrap_or(Run::Fill {
+                    value: false,
+                    groups: out.remaining(),
+                });
+                match run {
+                    Run::Fill { value, groups } if value == absorbing => {
+                        absorbing_step = Some(absorbing_step.map_or(groups, |s| s.min(groups)));
+                    }
+                    Run::Fill { groups, .. } => identity_step = identity_step.min(groups),
+                    Run::Literal(payload) => {
+                        has_literal = true;
+                        if absorbing {
+                            literal_acc |= payload;
+                        } else {
+                            literal_acc &= payload;
+                        }
+                    }
+                }
+            }
+            let step = if let Some(s) = absorbing_step {
+                let s = s.min(out.remaining());
+                out.fill(absorbing, s);
+                s
+            } else if has_literal {
+                out.literal(literal_acc);
+                1
+            } else {
+                out.fill(!absorbing, identity_step);
+                identity_step
+            };
+            for cursor in &mut cursors {
+                cursor.advance(step);
+            }
+        }
+        out.finish()
+    }
+
+    /// Iterates over the positions of set bits in ascending order, walking
+    /// the compressed runs directly: zero fills are skipped in O(1), one
+    /// fills are emitted as consecutive ranges.
+    #[must_use]
+    pub fn iter_ones(&self) -> WahOnes<'_> {
+        WahOnes {
+            words: &self.words,
+            word_idx: 0,
+            len: self.len,
+            group_start: 0,
+            literal: 0,
+            literal_base: 0,
+            run_pos: 0,
+            run_end: 0,
+        }
+    }
+}
+
+/// One decoded run of a compressed bitmap.
+#[derive(Debug, Clone, Copy)]
+enum Run {
+    /// `groups` consecutive 63-bit groups of all-`value` bits.
+    Fill { value: bool, groups: u64 },
+    /// One 63-bit group with the given payload.
+    Literal(u64),
+}
+
+fn decode_word(w: u64) -> Run {
+    if w & LITERAL_FLAG != 0 {
+        Run::Literal(w & !LITERAL_FLAG)
+    } else {
+        Run::Fill {
+            value: w & FILL_VALUE_FLAG != 0,
+            groups: w & MAX_FILL_LEN,
+        }
+    }
+}
+
+/// A cursor over the runs of one compressed operand, supporting multi-group
+/// advancement (fills are consumed partially, literals whole).
+struct RunCursor<'a> {
+    words: std::slice::Iter<'a, u64>,
+    current: Option<Run>,
+}
+
+impl<'a> RunCursor<'a> {
+    fn new(words: &'a [u64]) -> Self {
+        let mut cursor = RunCursor {
+            words: words.iter(),
+            current: None,
+        };
+        cursor.load_next();
+        cursor
+    }
+
+    fn load_next(&mut self) {
+        // Canonical compression never emits zero-length fills, but a
+        // deserialized bitmap may contain them; skipping here keeps the
+        // lockstep loops of `and_many`/`or_many` from stalling on a run
+        // that covers no groups.
+        self.current = None;
+        for &w in self.words.by_ref() {
+            let run = decode_word(w);
+            if matches!(run, Run::Fill { groups: 0, .. }) {
+                continue;
+            }
+            self.current = Some(run);
+            return;
+        }
+    }
+
+    /// Consumes `groups` 63-bit groups, crossing run boundaries as needed.
+    fn advance(&mut self, mut groups: u64) {
+        while groups > 0 {
+            match self.current {
+                Some(Run::Fill { value, groups: g }) => {
+                    if g > groups {
+                        self.current = Some(Run::Fill {
+                            value,
+                            groups: g - groups,
+                        });
+                        return;
+                    }
+                    groups -= g;
+                    self.load_next();
+                }
+                Some(Run::Literal(_)) => {
+                    groups -= 1;
+                    self.load_next();
+                }
+                None => return,
+            }
+        }
+    }
+}
+
+/// Builds a canonical compressed word stream: adjacent fills are merged,
+/// full all-zero/all-one literal groups become fills, and a partial tail
+/// group is always emitted as a literal (matching [`WahBitmap::compress`]).
+struct WahAppender {
+    len: usize,
+    total_groups: u64,
+    /// Bits in the final, partial group (0 when the last group is full).
+    tail_bits: usize,
+    groups: u64,
+    words: Vec<u64>,
+}
+
+impl WahAppender {
+    fn new(len: usize) -> Self {
+        WahAppender {
+            len,
+            total_groups: len.div_ceil(GROUP_BITS) as u64,
+            tail_bits: len % GROUP_BITS,
+            groups: 0,
+            words: Vec::new(),
+        }
+    }
+
+    fn remaining(&self) -> u64 {
+        self.total_groups - self.groups
+    }
+
+    fn fill(&mut self, value: bool, mut groups: u64) {
+        if groups == 0 {
+            return;
+        }
+        // Canonical form: the partial tail group is a literal, never part of
+        // a fill.
+        if self.tail_bits != 0 && self.groups + groups == self.total_groups {
+            groups -= 1;
+            self.fill(value, groups);
+            let payload = if value {
+                (1u64 << self.tail_bits) - 1
+            } else {
+                0
+            };
+            self.push_literal_word(payload);
+            return;
+        }
+        while groups > 0 {
+            if let Some(last) = self.words.last_mut() {
+                if *last & LITERAL_FLAG == 0 && (*last & FILL_VALUE_FLAG != 0) == value {
+                    let count = *last & MAX_FILL_LEN;
+                    let add = groups.min(MAX_FILL_LEN - count);
+                    if add > 0 {
+                        *last += add;
+                        self.groups += add;
+                        groups -= add;
+                        continue;
+                    }
+                }
+            }
+            let chunk = groups.min(MAX_FILL_LEN);
+            let mut w = chunk;
+            if value {
+                w |= FILL_VALUE_FLAG;
+            }
+            self.words.push(w);
+            self.groups += chunk;
+            groups -= chunk;
+        }
+    }
+
+    fn literal(&mut self, payload: u64) {
+        let is_partial_tail = self.tail_bits != 0 && self.groups + 1 == self.total_groups;
+        if is_partial_tail {
+            // Mask payload bits beyond the tail, which merging non-canonical
+            // (deserialized) operands may produce.
+            self.push_literal_word(payload & ((1u64 << self.tail_bits) - 1));
+        } else if payload == 0 {
+            self.fill(false, 1);
+        } else if payload == FULL_GROUP {
+            self.fill(true, 1);
+        } else {
+            self.push_literal_word(payload);
+        }
+    }
+
+    fn push_literal_word(&mut self, payload: u64) {
+        self.words.push(LITERAL_FLAG | payload);
+        self.groups += 1;
+    }
+
+    fn finish(self) -> WahBitmap {
+        debug_assert_eq!(self.groups, self.total_groups, "appender under/overfilled");
+        WahBitmap {
+            len: self.len,
+            words: self.words,
+        }
+    }
+}
+
+/// Iterator over the set-bit positions of a [`WahBitmap`], run by run.
+#[derive(Debug)]
+pub struct WahOnes<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    len: usize,
+    /// Bit position of the next undecoded group.
+    group_start: usize,
+    /// Remaining payload bits of the current literal group.
+    literal: u64,
+    literal_base: usize,
+    /// Current one-fill run, as a half-open position range.
+    run_pos: usize,
+    run_end: usize,
+}
+
+impl Iterator for WahOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.run_pos < self.run_end {
+                let position = self.run_pos;
+                self.run_pos += 1;
+                return Some(position);
+            }
+            if self.literal != 0 {
+                let bit = self.literal.trailing_zeros() as usize;
+                self.literal &= self.literal - 1;
+                return Some(self.literal_base + bit);
+            }
+            let &word = self.words.get(self.word_idx)?;
+            self.word_idx += 1;
+            match decode_word(word) {
+                Run::Literal(payload) => {
+                    // Mask bits beyond `len`, which non-canonical
+                    // (deserialized) tail literals may carry.
+                    let valid = self.len.saturating_sub(self.group_start).min(GROUP_BITS);
+                    self.literal = payload & (FULL_GROUP >> (GROUP_BITS - valid));
+                    self.literal_base = self.group_start;
+                    self.group_start += GROUP_BITS;
+                }
+                Run::Fill { value, groups } => {
+                    let start = self.group_start;
+                    self.group_start += groups as usize * GROUP_BITS;
+                    if value {
+                        self.run_pos = start;
+                        self.run_end = self.group_start.min(self.len);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -239,12 +612,158 @@ mod tests {
         let wb = WahBitmap::compress(&b);
         assert_eq!(wa.and(&wb).decompress(), a.and(&b));
     }
+
+    #[test]
+    fn compressed_ops_are_canonical() {
+        // The result of a compressed-domain operation is structurally equal
+        // to compressing the plain result — fills merged, partial tail
+        // literal — so Eq on WahBitmap is logical equality.
+        for len in [0usize, 1, 63, 64, 126, 1_000, 4_096] {
+            let a = Bitmap::from_positions(len, (0..len).filter(|i| i % 3 == 0));
+            let b = Bitmap::from_positions(len, (0..len).filter(|i| (500..900).contains(i)));
+            let (wa, wb) = (WahBitmap::compress(&a), WahBitmap::compress(&b));
+            assert_eq!(
+                wa.and(&wb),
+                WahBitmap::compress(&a.and(&b)),
+                "and len={len}"
+            );
+            assert_eq!(wa.or(&wb), WahBitmap::compress(&a.or(&b)), "or len={len}");
+        }
+    }
+
+    #[test]
+    fn compressed_and_many_skips_zero_fills() {
+        let n = 100_000;
+        let sparse = Bitmap::from_positions(n, [10, 50_000, 99_999]);
+        let runs = Bitmap::from_positions(n, (40_000..60_000).chain(99_000..n));
+        let all = Bitmap::ones(n);
+        let expected = Bitmap::and_many(&[&sparse, &runs, &all]);
+        let compressed: Vec<WahBitmap> = [&sparse, &runs, &all]
+            .iter()
+            .map(|b| WahBitmap::compress(b))
+            .collect();
+        let refs: Vec<&WahBitmap> = compressed.iter().collect();
+        let result = WahBitmap::and_many(&refs);
+        assert_eq!(result.decompress(), expected);
+        // Intersection of a 3-hit bitmap stays tiny in compressed form.
+        assert!(result.size_bytes() < 100, "{}", result.size_bytes());
+    }
+
+    #[test]
+    fn compressed_or_many_matches_plain() {
+        let n = 10_000;
+        let a = Bitmap::from_positions(n, (0..n).filter(|i| i % 97 == 0));
+        let b = Bitmap::from_positions(n, 3_000..5_000);
+        let c = Bitmap::new(n);
+        let compressed: Vec<WahBitmap> = [&a, &b, &c]
+            .iter()
+            .map(|x| WahBitmap::compress(x))
+            .collect();
+        let refs: Vec<&WahBitmap> = compressed.iter().collect();
+        assert_eq!(WahBitmap::or_many(&refs).decompress(), a.or(&b).or(&c));
+    }
+
+    #[test]
+    fn iter_ones_walks_runs_in_order() {
+        let n = 5_000;
+        let positions: Vec<usize> = (0..n)
+            .filter(|i| *i < 3 || (1_000..1_200).contains(i) || *i == n - 1)
+            .collect();
+        let w = WahBitmap::compress(&Bitmap::from_positions(n, positions.iter().copied()));
+        assert_eq!(w.iter_ones().collect::<Vec<_>>(), positions);
+        assert_eq!(WahBitmap::compress(&Bitmap::new(0)).iter_ones().count(), 0);
+        assert_eq!(
+            WahBitmap::compress(&Bitmap::ones(130))
+                .iter_ones()
+                .collect::<Vec<_>>(),
+            (0..130).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn density_and_boundaries() {
+        assert_eq!(WahBitmap::compress(&Bitmap::new(0)).density(), 0.0);
+        assert_eq!(WahBitmap::compress(&Bitmap::ones(77)).density(), 1.0);
+        let half = Bitmap::from_positions(100, 0..50);
+        assert!((WahBitmap::compress(&half).density() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_canonical_zero_length_fills_are_tolerated() {
+        // Canonical compression never produces a fill of zero groups, but a
+        // deserialized bitmap can carry one; Boolean ops must terminate and
+        // still produce the canonical result.
+        let b = Bitmap::from_positions(70, [1usize, 64]);
+        let mut w = WahBitmap::compress(&b);
+        w.words.insert(0, 0); // zero-length zero fill
+        w.words.insert(1, FILL_VALUE_FLAG); // zero-length one fill
+        assert_eq!(w.decompress(), b);
+        let ones = WahBitmap::compress(&Bitmap::ones(70));
+        assert_eq!(w.and(&ones), WahBitmap::compress(&b));
+        let zeros = WahBitmap::compress(&Bitmap::new(70));
+        assert_eq!(w.or(&zeros), WahBitmap::compress(&b));
+        assert_eq!(w.iter_ones().collect::<Vec<_>>(), vec![1, 64]);
+    }
+
+    #[test]
+    fn tail_literal_bits_beyond_len_are_masked() {
+        // A deserialized tail literal may carry set bits beyond `len`;
+        // queries and merges must ignore them like `decompress` does.
+        let b = Bitmap::ones(70);
+        let mut w = WahBitmap::compress(&b);
+        let last = w.words.len() - 1;
+        assert_ne!(w.words[last] & LITERAL_FLAG, 0, "tail group is a literal");
+        w.words[last] = LITERAL_FLAG | FULL_GROUP; // junk bits 70..126
+        assert_eq!(w.decompress(), b);
+        assert_eq!(w.count_ones(), 70);
+        assert_eq!(
+            w.iter_ones().collect::<Vec<_>>(),
+            (0..70).collect::<Vec<_>>()
+        );
+        let zeros = WahBitmap::compress(&Bitmap::new(70));
+        assert_eq!(w.or(&zeros), WahBitmap::compress(&b));
+    }
+
+    #[test]
+    fn truncated_word_streams_read_as_zeros() {
+        // A deserialized WahBitmap whose words cover fewer groups than `len`
+        // reads as zeros past the last run — the same behaviour as
+        // `decompress` — instead of panicking mid-merge.
+        let b = Bitmap::from_positions(126, [1usize, 5]);
+        let mut w = WahBitmap::compress(&b);
+        w.words.truncate(1); // drop the trailing zero fill
+        let expected = WahBitmap::compress(&b);
+        assert_eq!(w.decompress(), b);
+        assert_eq!(w.and(&WahBitmap::compress(&Bitmap::ones(126))), expected);
+        assert_eq!(w.or(&WahBitmap::compress(&Bitmap::new(126))), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn and_many_rejects_length_mismatch() {
+        let a = WahBitmap::compress(&Bitmap::new(10));
+        let b = WahBitmap::compress(&Bitmap::new(11));
+        let _ = WahBitmap::and_many(&[&a, &b]);
+    }
 }
 
 #[cfg(test)]
 mod prop_tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// A bitmap drawn from a mix of shapes that exercises every WAH run
+    /// kind: all-zero, all-one, random at a given density, and clustered
+    /// runs of ones over a zero background.
+    fn arb_shaped_bitmap(max_len: usize) -> impl Strategy<Value = Bitmap> {
+        (
+            (0usize..max_len, 0u8..4),
+            (0usize..max_len, 0usize..max_len, 0u64..1_000),
+        )
+            .prop_map(|((len, shape), (run_start, run_len, seed))| {
+                crate::test_shapes::shaped_bitmap(len, shape, run_start, run_len, seed)
+            })
+    }
 
     proptest! {
         /// Compression is lossless for arbitrary bit patterns and lengths.
@@ -268,6 +787,48 @@ mod prop_tests {
             let w = WahBitmap::compress(&b);
             prop_assert_eq!(w.decompress(), b.clone());
             prop_assert_eq!(w.count_ones(), b.count_ones());
+        }
+
+        /// Round-trip over the shaped generator, covering all-zero and
+        /// all-one runs explicitly.
+        #[test]
+        fn prop_shaped_roundtrip(b in arb_shaped_bitmap(1_500)) {
+            let w = WahBitmap::compress(&b);
+            prop_assert_eq!(w.decompress(), b.clone());
+            prop_assert_eq!(w.count_ones(), b.count_ones());
+            prop_assert_eq!(w.iter_ones().collect::<Vec<_>>(),
+                            b.iter_ones().collect::<Vec<_>>());
+        }
+
+        /// Compressed-domain multi-way AND agrees with the plain-domain
+        /// ground truth after decompression, for random densities including
+        /// all-zero/all-one runs; OR and canonicality ride along.
+        #[test]
+        fn prop_and_many_matches_plain(
+            len in 1usize..800,
+            shapes in proptest::collection::vec((0u8..4, 0usize..800, 0usize..800, 0u64..1_000), 1..5),
+        ) {
+            let plain: Vec<Bitmap> = shapes
+                .into_iter()
+                .map(|(shape, run_start, run_len, seed)| {
+                    crate::test_shapes::shaped_bitmap(len, shape, run_start, run_len, seed)
+                })
+                .collect();
+            let plain_refs: Vec<&Bitmap> = plain.iter().collect();
+            let compressed: Vec<WahBitmap> = plain.iter().map(WahBitmap::compress).collect();
+            let refs: Vec<&WahBitmap> = compressed.iter().collect();
+
+            let and = WahBitmap::and_many(&refs);
+            let expected_and = Bitmap::and_many(&plain_refs);
+            prop_assert_eq!(and.decompress(), expected_and.clone());
+            prop_assert_eq!(and, WahBitmap::compress(&expected_and));
+
+            let or = WahBitmap::or_many(&refs);
+            let expected_or = plain[1..]
+                .iter()
+                .fold(plain[0].clone(), |acc, b| acc.or(b));
+            prop_assert_eq!(or.decompress(), expected_or.clone());
+            prop_assert_eq!(or, WahBitmap::compress(&expected_or));
         }
     }
 }

@@ -32,6 +32,10 @@ pub struct CostParameters {
     pub fact_prefetch_pages: u64,
     /// Prefetch granule on bitmap fragments, in pages (Table 4: 5).
     pub bitmap_prefetch_pages: u64,
+    /// Measured bitmap compression ratio (verbatim bytes over stored bytes,
+    /// e.g. from a representation-aware index build): bitmap page counts
+    /// are divided by it.  1.0 reproduces the paper's verbatim sizing.
+    pub bitmap_compression_ratio: f64,
 }
 
 impl Default for CostParameters {
@@ -39,6 +43,7 @@ impl Default for CostParameters {
         CostParameters {
             fact_prefetch_pages: 8,
             bitmap_prefetch_pages: 5,
+            bitmap_compression_ratio: 1.0,
         }
     }
 }
@@ -118,6 +123,24 @@ impl CostModel {
             sizing,
             params,
         }
+    }
+
+    /// Applies a *measured* bitmap compression ratio (verbatim bytes over
+    /// stored bytes, e.g. [`bitmap::ReprStats::compression_ratio`] of a
+    /// representation-aware index build), so bitmap page estimates reflect
+    /// what the chosen representations actually occupy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not strictly positive and finite.
+    #[must_use]
+    pub fn with_measured_compression(mut self, ratio: f64) -> Self {
+        assert!(
+            ratio.is_finite() && ratio > 0.0,
+            "compression ratio must be positive and finite"
+        );
+        self.params.bitmap_compression_ratio = ratio;
+        self
     }
 
     /// The schema this model evaluates against.
@@ -211,7 +234,12 @@ impl CostModel {
         let (bitmap_io_ops, bitmap_pages_read) = if bitmaps_per_fragment == 0 {
             (0.0, 0.0)
         } else {
-            let bitmap_frag_pages = self.sizing.bitmap_fragment_pages(n).ceil().max(1.0);
+            // Compressed representations shrink the stored bitmap fragment;
+            // a fragment still costs at least one page to read.
+            let bitmap_frag_pages = (self.sizing.bitmap_fragment_pages(n)
+                / self.params.bitmap_compression_ratio)
+                .ceil()
+                .max(1.0);
             let ops_per_bitmap_frag =
                 (bitmap_frag_pages / self.params.bitmap_prefetch_pages as f64).ceil();
             let ops = frags_q as f64 * bitmaps_per_fragment as f64 * ops_per_bitmap_frag;
@@ -395,6 +423,39 @@ mod tests {
         // Code fragmentation is the worst overall and its bitmap I/O explodes.
         assert!(totals[2].0 > totals[0].0, "{totals:?}");
         assert!(totals[2].1 > 3e6, "bitmap pages {:?}", totals[2]);
+    }
+
+    #[test]
+    fn measured_compression_shrinks_bitmap_pages_only() {
+        // Table 3's F_nosupp column for 1STORE reads 691 200 bitmap pages at
+        // verbatim sizing (5 whole pages per bitmap fragment).  A measured
+        // 5x compression brings a fragment to 1 page, i.e. 138 240 total —
+        // fact I/O is untouched.
+        let m = model();
+        let f = Fragmentation::parse(m.schema(), &["time::month", "product::group"]).unwrap();
+        let q = StarQuery::exact_match(m.schema(), "1STORE", &["customer::store"]);
+        let (_, verbatim) = m.evaluate(&f, &q);
+        let compressed_model = model().with_measured_compression(5.0);
+        assert_eq!(compressed_model.parameters().bitmap_compression_ratio, 5.0);
+        let (_, compressed) = compressed_model.evaluate(&f, &q);
+        assert!((verbatim.bitmap_pages_read - 691_200.0).abs() < 1.0);
+        assert!((compressed.bitmap_pages_read - 138_240.0).abs() < 1.0);
+        assert_eq!(compressed.fact_pages_read, verbatim.fact_pages_read);
+        assert_eq!(compressed.fact_io_ops, verbatim.fact_io_ops);
+        // Both sizings fit one 5-page prefetch granule per bitmap fragment,
+        // so operation counts stay at their floor — only pages shrink.
+        assert_eq!(compressed.bitmap_io_ops, verbatim.bitmap_io_ops);
+        // A ratio of 1.0 (the default) reproduces the verbatim figures.
+        assert_eq!(
+            model().with_measured_compression(1.0).evaluate(&f, &q).1,
+            verbatim
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn non_positive_measured_compression_rejected() {
+        let _ = model().with_measured_compression(f64::NAN);
     }
 
     #[test]

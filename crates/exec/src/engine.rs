@@ -4,16 +4,25 @@
 //! pool of `workers` OS threads sharing a work-stealing [`FragmentQueue`] of
 //! pruned fragments — the physical counterpart of the paper's dynamic
 //! assignment of fragment subqueries to processing elements.  Each worker
-//! evaluates its fragments' bitmap predicates (multi-way [`Bitmap::and_many`]
-//! intersection over the fragment-aligned indices), aggregates partial sums,
-//! and the engine merges the per-fragment partials *in plan order*, so the
-//! floating-point result is **bit-identical for every worker count**.
+//! evaluates its fragments' bitmap predicates — staying in the *compressed
+//! domain* ([`bitmap::WahBitmap::and_many`]) when every selection bitmap is
+//! WAH-compressed, falling back to an allocation-free plain intersection
+//! ([`Bitmap::and_assign_many`]) otherwise — aggregates partial sums, and
+//! the engine merges the per-fragment partials *in plan order*, so the
+//! floating-point result is **bit-identical for every worker count and
+//! every representation policy**.
+//!
+//! When an [`ExecConfig::placement`] is set, each worker's initial queue
+//! chunk follows the physical allocation's disk-affinity order
+//! ([`PhysicalAllocation::subquery_disks`]) instead of naive fragment
+//! order, so the pool starts on placement-aligned partitions.
 
 use std::num::NonZeroUsize;
 use std::thread;
 use std::time::Instant;
 
-use bitmap::Bitmap;
+use allocation::PhysicalAllocation;
+use bitmap::BitmapRepr;
 use workload::BoundQuery;
 
 use crate::metrics::{ExecMetrics, WorkerMetrics};
@@ -27,19 +36,33 @@ pub struct ExecConfig {
     /// Number of worker threads; `0` resolves to the machine's available
     /// parallelism.
     pub workers: usize,
+    /// Optional physical allocation: when set, worker queues are seeded in
+    /// disk-affinity order rather than naive fragment order.  Never affects
+    /// results, only the initial work partition.
+    pub placement: Option<PhysicalAllocation>,
 }
 
 impl ExecConfig {
-    /// A pool of exactly `workers` threads.
+    /// A pool of exactly `workers` threads, with no placement awareness.
     #[must_use]
     pub fn with_workers(workers: usize) -> Self {
-        ExecConfig { workers }
+        ExecConfig {
+            workers,
+            placement: None,
+        }
     }
 
     /// The serial (1-worker) configuration — the speedup baseline.
     #[must_use]
     pub fn serial() -> Self {
         ExecConfig::with_workers(1)
+    }
+
+    /// Seeds worker queues in `placement`'s disk-affinity order.
+    #[must_use]
+    pub fn with_placement(mut self, placement: PhysicalAllocation) -> Self {
+        self.placement = Some(placement);
+        self
     }
 
     /// The actual pool size: `workers`, or the machine's available
@@ -55,9 +78,9 @@ impl ExecConfig {
 }
 
 impl Default for ExecConfig {
-    /// Defaults to the machine's available parallelism.
+    /// Defaults to the machine's available parallelism, placement-unaware.
     fn default() -> Self {
-        ExecConfig { workers: 0 }
+        ExecConfig::with_workers(0)
     }
 }
 
@@ -135,7 +158,13 @@ impl StarJoinEngine {
         let workers = config.resolved_workers().min(plan.fragments().len()).max(1);
         let bitmap_predicates = plan.bitmap_predicates();
         let start = Instant::now();
-        let queue = FragmentQueue::new(plan.fragments().len(), workers);
+        let queue = match &config.placement {
+            Some(placement) => FragmentQueue::with_seed_order(
+                placement_seed_order(plan, &self.store, placement),
+                workers,
+            ),
+            None => FragmentQueue::new(plan.fragments().len(), workers),
+        };
         let outputs: Vec<(Vec<FragmentPartial>, WorkerMetrics)> = if workers == 1 {
             vec![run_worker(&self.store, plan, &bitmap_predicates, &queue, 0)]
         } else {
@@ -188,6 +217,21 @@ impl StarJoinEngine {
     }
 }
 
+/// The disk-affinity task permutation: tasks sorted (stably) by the disk
+/// set their fragment subquery touches under `placement`, so contiguous
+/// queue chunks map to contiguous slices of the physical allocation.
+fn placement_seed_order(
+    plan: &QueryPlan,
+    store: &FragmentStore,
+    placement: &PhysicalAllocation,
+) -> Vec<usize> {
+    let bitmap_count = plan.bitmap_fragments_per_subquery(store.catalog());
+    let mut tasks: Vec<usize> = (0..plan.fragments().len()).collect();
+    tasks
+        .sort_by_cached_key(|&task| placement.subquery_disks(plan.fragments()[task], bitmap_count));
+    tasks
+}
+
 /// One worker's loop: claim fragments until the queue is dry.
 fn run_worker(
     store: &FragmentStore,
@@ -208,8 +252,10 @@ fn run_worker(
             metrics.fragments_stolen += 1;
         }
         let fragment = store.fragment(plan.fragments()[task]);
-        let partial = process_fragment(fragment, bitmap_predicates, store.measure_count(), task);
+        let (partial, compressed) =
+            process_fragment(fragment, bitmap_predicates, store.measure_count(), task);
         metrics.fragments_processed += 1;
+        metrics.fragments_compressed += usize::from(compressed);
         metrics.rows_scanned += partial.rows;
         metrics.rows_matched += partial.hits;
         partials.push(partial);
@@ -219,24 +265,40 @@ fn run_worker(
 }
 
 /// Evaluates one fragment: bitmap-AND selection (or the IOC1 whole-fragment
-/// fast path) followed by partial aggregation of every measure.
+/// fast path) followed by partial aggregation of every measure.  Returns
+/// the partial plus whether the selection ran fully in the compressed
+/// domain.
 fn process_fragment(
     fragment: &ColumnarFragment,
     bitmap_predicates: &[PredicateBinding],
     measure_count: usize,
     task: usize,
-) -> FragmentPartial {
+) -> (FragmentPartial, bool) {
     let rows = fragment.len() as u64;
     let mut sums = vec![0.0f64; measure_count];
     let mut hits = 0u64;
+    let mut compressed_domain = false;
     if fragment.is_empty() {
-        return FragmentPartial {
-            task,
-            rows,
-            hits,
-            sums,
-        };
+        return (
+            FragmentPartial {
+                task,
+                rows,
+                hits,
+                sums,
+            },
+            compressed_domain,
+        );
     }
+    // One aggregation loop for both selection branches, so the
+    // bit-identical-across-representations invariant cannot diverge.
+    let mut aggregate = |matching: &mut dyn Iterator<Item = usize>| {
+        for row in matching {
+            hits += 1;
+            for (measure, sum) in sums.iter_mut().enumerate() {
+                *sum += fragment.measure_column(measure)[row];
+            }
+        }
+    };
     if bitmap_predicates.is_empty() {
         // IOC1 fast path (§4.5): fragment pruning already guarantees every
         // row of this fragment matches — aggregate whole measure columns
@@ -246,25 +308,30 @@ fn process_fragment(
             *sum = fragment.measure_column(measure).iter().sum();
         }
     } else {
-        let selections: Vec<Bitmap> = bitmap_predicates
+        let selections: Vec<BitmapRepr> = bitmap_predicates
             .iter()
-            .map(|p| fragment.bitmap_index(p.dimension).select(p.level, p.value))
+            .map(|p| {
+                fragment
+                    .bitmap_index(p.dimension)
+                    .select_repr(p.level, p.value)
+            })
             .collect();
-        let refs: Vec<&Bitmap> = selections.iter().collect();
-        let selection = Bitmap::and_many(&refs);
-        for row in selection.iter_ones() {
-            hits += 1;
-            for (measure, sum) in sums.iter_mut().enumerate() {
-                *sum += fragment.measure_column(measure)[row];
-            }
-        }
+        // All-compressed selections intersect and iterate entirely over the
+        // WAH runs; otherwise the operands fold into the first selection's
+        // plain form in place — both inside `BitmapRepr::and_many_owned`.
+        compressed_domain = selections.iter().all(BitmapRepr::is_compressed);
+        let selection = BitmapRepr::and_many_owned(selections);
+        aggregate(&mut selection.iter_ones());
     }
-    FragmentPartial {
-        task,
-        rows,
-        hits,
-        sums,
-    }
+    (
+        FragmentPartial {
+            task,
+            rows,
+            hits,
+            sums,
+        },
+        compressed_domain,
+    )
 }
 
 #[cfg(test)]
@@ -397,6 +464,73 @@ mod tests {
         assert_eq!(ExecConfig::serial().resolved_workers(), 1);
         assert_eq!(ExecConfig::with_workers(6).resolved_workers(), 6);
         assert!(ExecConfig::default().resolved_workers() >= 1);
+        assert_eq!(ExecConfig::default().placement, None);
+        let placed = ExecConfig::with_workers(2).with_placement(PhysicalAllocation::round_robin(8));
+        assert_eq!(placed.placement, Some(PhysicalAllocation::round_robin(8)));
+    }
+
+    #[test]
+    fn placement_seeding_changes_order_not_results() {
+        let (schema, engine) = engine();
+        let bound = BoundQuery::new(&schema, QueryType::OneStore.to_star_query(&schema), vec![7]);
+        let plan = engine.plan(&bound);
+        let placement = PhysicalAllocation::round_robin(10);
+        let order = placement_seed_order(&plan, engine.store(), &placement);
+        // The order is a permutation of all tasks, grouped by leading disk.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..plan.fragments().len()).collect::<Vec<_>>());
+        assert_ne!(order, sorted, "disk-affinity order should reorder tasks");
+        let k = plan.bitmap_fragments_per_subquery(engine.store().catalog());
+        let first_disks: Vec<Vec<u64>> = order
+            .iter()
+            .map(|&t| placement.subquery_disks(plan.fragments()[t], k))
+            .collect();
+        assert!(first_disks.windows(2).all(|w| w[0] <= w[1]));
+
+        // Seeding never changes the result bits.
+        let baseline = engine.execute(&bound, &ExecConfig::with_workers(4));
+        let placed = engine.execute(
+            &bound,
+            &ExecConfig::with_workers(4).with_placement(placement),
+        );
+        assert_eq!(placed.hits, baseline.hits);
+        let baseline_bits: Vec<u64> = baseline.measure_sums.iter().map(|s| s.to_bits()).collect();
+        let placed_bits: Vec<u64> = placed.measure_sums.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(placed_bits, baseline_bits);
+    }
+
+    #[test]
+    fn forced_wah_store_runs_selections_in_the_compressed_domain() {
+        let schema = apb1_scaled_down();
+        let fragmentation =
+            Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+        let store = FragmentStore::build_with_policy(
+            &schema,
+            &fragmentation,
+            2024,
+            bitmap::RepresentationPolicy::Wah,
+        );
+        let engine = StarJoinEngine::new(store);
+        // 1STORE hits the simple customer index: all selections compressed.
+        let bound = BoundQuery::new(&schema, QueryType::OneStore.to_star_query(&schema), vec![7]);
+        let result = engine.execute_serial(&bound);
+        assert_eq!(
+            result.metrics.total_compressed(),
+            result.metrics.total_fragments()
+        );
+
+        // The adaptive default store returns identical bits either way.
+        let adaptive = StarJoinEngine::new(FragmentStore::build(&schema, &fragmentation, 2024));
+        let adaptive_result = adaptive.execute_serial(&bound);
+        assert_eq!(adaptive_result.hits, result.hits);
+        let a: Vec<u64> = adaptive_result
+            .measure_sums
+            .iter()
+            .map(|s| s.to_bits())
+            .collect();
+        let b: Vec<u64> = result.measure_sums.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -453,23 +587,38 @@ mod prop_tests {
         &["time::month", "product::code", "channel::channel"],
     ];
 
+    const POLICIES: [bitmap::RepresentationPolicy; 3] = [
+        bitmap::RepresentationPolicy::Plain,
+        bitmap::RepresentationPolicy::Wah,
+        bitmap::RepresentationPolicy::Adaptive {
+            max_density: bitmap::RepresentationPolicy::DEFAULT_MAX_DENSITY,
+        },
+    ];
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(12))]
 
-        /// For random fragmentations, query types and bound values, the
-        /// parallel engine returns exactly (bit-identically) the serial
-        /// result for k workers in {1, 2, 8}.
+        /// For random fragmentations, query types, bound values and all of
+        /// the {Plain, Wah, Adaptive} representation policies, the parallel
+        /// engine returns exactly (bit-identically) the serial result for k
+        /// workers in {1, 2, 8}.
         #[test]
         fn prop_parallel_equals_serial(
             frag_idx in 0usize..FRAGMENTATIONS.len(),
             type_idx in 0usize..5,
             raw_values in proptest::collection::vec(0u64..100_000, 2),
             seed in 1u64..1_000,
+            policy_idx in 0usize..POLICIES.len(),
         ) {
             let schema = tiny_schema();
             let fragmentation =
                 Fragmentation::parse(&schema, FRAGMENTATIONS[frag_idx]).unwrap();
-            let store = FragmentStore::build(&schema, &fragmentation, seed);
+            let store = FragmentStore::build_with_policy(
+                &schema,
+                &fragmentation,
+                seed,
+                POLICIES[policy_idx],
+            );
             let engine = StarJoinEngine::new(store);
 
             let query_type = QueryType::standard_mix()[type_idx].clone();

@@ -12,14 +12,19 @@
 //!
 //! * [`FragmentStore`] materialises a (scaled-down) fact table, partitions it
 //!   under a [`mdhf::Fragmentation`] and builds *fragment-aligned* bitmap
-//!   join indices per fragment,
+//!   join indices per fragment, each bitmap stored in its
+//!   [`bitmap::RepresentationPolicy`]-chosen representation (plain or
+//!   WAH-compressed; adaptive by default),
 //! * [`QueryPlan`] prunes the fragment list via the MDHF classifier and
 //!   annotates which predicates still need bitmap access,
 //! * [`StarJoinEngine`] executes the plan on a worker pool sharing a
 //!   work-stealing [`FragmentQueue`] (the paper's dynamic load balancing
-//!   across processing elements), with per-worker bitmap-AND selection and
-//!   partial aggregation, and a deterministic merge — parallel results are
-//!   bit-identical to serial ones,
+//!   across processing elements) — optionally seeded in
+//!   [`allocation::PhysicalAllocation`] disk-affinity order — with
+//!   per-worker bitmap-AND selection (compressed-domain when every
+//!   selection bitmap is WAH) and partial aggregation, and a deterministic
+//!   merge — parallel results are bit-identical to serial ones under every
+//!   representation policy,
 //! * [`ExecMetrics`] reports per-worker accounting and wall-clock speedup.
 //!
 //! # Quick start

@@ -11,6 +11,9 @@ pub struct WorkerMetrics {
     pub fragments_processed: usize,
     /// Fragments obtained by stealing from another worker's deque.
     pub fragments_stolen: usize,
+    /// Fragments whose bitmap selection ran entirely in the compressed
+    /// (WAH) domain.
+    pub fragments_compressed: usize,
     /// Fact rows inspected (whole-fragment aggregation and bitmap hits both
     /// count every aggregated row).
     pub rows_scanned: u64,
@@ -49,6 +52,12 @@ impl ExecMetrics {
     #[must_use]
     pub fn total_stolen(&self) -> usize {
         self.workers.iter().map(|w| w.fragments_stolen).sum()
+    }
+
+    /// Fragments whose selection stayed in the compressed domain.
+    #[must_use]
+    pub fn total_compressed(&self) -> usize {
+        self.workers.iter().map(|w| w.fragments_compressed).sum()
     }
 
     /// Fact rows aggregated across all workers.
@@ -100,6 +109,7 @@ mod tests {
                     worker,
                     fragments_processed: 2,
                     fragments_stolen: usize::from(worker > 0),
+                    fragments_compressed: 1,
                     rows_scanned: 100,
                     rows_matched: 10,
                     busy: Duration::from_millis(ms),
@@ -116,6 +126,7 @@ mod tests {
         assert_eq!(m.worker_count(), 4);
         assert_eq!(m.total_fragments(), 8);
         assert_eq!(m.total_stolen(), 3);
+        assert_eq!(m.total_compressed(), 4);
         assert_eq!(m.total_rows_scanned(), 400);
         assert_eq!(m.planned_fragments, m.total_fragments());
     }

@@ -37,19 +37,43 @@ pub struct FragmentQueue {
 
 impl FragmentQueue {
     /// Creates a queue of `tasks` task indices for `workers` workers, seeding
-    /// each worker with a contiguous, evenly sized chunk.
+    /// each worker with a contiguous, evenly sized chunk in task order.
     ///
     /// # Panics
     ///
     /// Panics if `workers` is zero.
     #[must_use]
     pub fn new(tasks: usize, workers: usize) -> Self {
+        Self::with_seed_order((0..tasks).collect(), workers)
+    }
+
+    /// Creates a queue whose workers are seeded with contiguous chunks of
+    /// `order` — e.g. a disk-affinity permutation of the task indices, so
+    /// each worker's initial chunk touches a distinct slice of the physical
+    /// allocation and work stealing starts from a placement-aligned
+    /// partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or `order` is not a permutation of
+    /// `0..order.len()` (a duplicate index would make a fragment's partial
+    /// count twice in the merge).
+    #[must_use]
+    pub fn with_seed_order(order: Vec<usize>, workers: usize) -> Self {
         assert!(workers > 0, "a queue needs at least one worker");
+        let tasks = order.len();
+        let mut seen = vec![false; tasks];
+        for &task in &order {
+            assert!(
+                task < tasks && !std::mem::replace(&mut seen[task], true),
+                "seed order must be a permutation of 0..{tasks}"
+            );
+        }
         let mut deques: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
-        for task in 0..tasks {
-            // Balanced contiguous chunks: worker w owns tasks with
-            // task * workers / tasks == w.
-            let owner = task * workers / tasks;
+        for (position, task) in order.into_iter().enumerate() {
+            // Balanced contiguous chunks: worker w owns the positions with
+            // position * workers / tasks == w.
+            let owner = position * workers / tasks;
             deques[owner].push_back(task);
         }
         FragmentQueue {
@@ -178,6 +202,31 @@ mod tests {
         let total: usize = claimed.iter().map(Vec::len).sum();
         assert_eq!(total, tasks, "tasks claimed more than once");
         assert_eq!(all.len(), tasks, "tasks lost");
+    }
+
+    #[test]
+    fn seed_order_controls_initial_ownership() {
+        // A reversed order seeds worker 0 with the *last* task indices.
+        let queue = FragmentQueue::with_seed_order(vec![5, 4, 3, 2, 1, 0], 2);
+        let own: Vec<usize> = (0..3)
+            .map(|_| match queue.claim(0) {
+                Some(Claim::Own(t)) => t,
+                other => panic!("expected own claim, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(own, vec![5, 4, 3]);
+        // Every remaining task is still claimed exactly once across the pool.
+        let mut rest = BTreeSet::new();
+        while let Some(claim) = queue.claim(1) {
+            assert!(rest.insert(claim.task()));
+        }
+        assert_eq!(rest, BTreeSet::from([0, 1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn duplicate_seed_order_rejected() {
+        let _ = FragmentQueue::with_seed_order(vec![0, 0, 1], 2);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use bitmap::{
     BitmapFragmentation, FactRow, IndexCatalog, MaterialisedFactTable, MaterialisedIndex,
+    ReprStats, RepresentationPolicy,
 };
 use mdhf::Fragmentation;
 use schema::{PageSizing, StarSchema};
@@ -35,6 +36,7 @@ impl ColumnarFragment {
     fn build(
         schema: &StarSchema,
         catalog: &IndexCatalog,
+        policy: RepresentationPolicy,
         fragment_number: u64,
         rows: Vec<FactRow>,
         dimension_cardinalities: Vec<u64>,
@@ -57,7 +59,7 @@ impl ColumnarFragment {
         }
         let sub_table = MaterialisedFactTable::from_rows(rows, dimension_cardinalities);
         let indices = (0..dimension_count)
-            .map(|d| MaterialisedIndex::build(schema, catalog, &sub_table, d))
+            .map(|d| MaterialisedIndex::build_with_policy(schema, catalog, &sub_table, d, policy))
             .collect();
         ColumnarFragment {
             fragment_number,
@@ -102,6 +104,16 @@ impl ColumnarFragment {
     pub fn bitmap_index(&self, dimension: usize) -> &MaterialisedIndex {
         &self.indices[dimension]
     }
+
+    /// Aggregate representation statistics over this fragment's indices.
+    #[must_use]
+    pub fn index_stats(&self) -> ReprStats {
+        let mut stats = ReprStats::default();
+        for index in &self.indices {
+            stats.merge(index.repr_stats());
+        }
+        stats
+    }
 }
 
 /// A fully materialised, MDHF-fragmented fact table with fragment-aligned
@@ -111,6 +123,7 @@ pub struct FragmentStore {
     schema: StarSchema,
     fragmentation: Fragmentation,
     catalog: IndexCatalog,
+    policy: RepresentationPolicy,
     /// Dense, indexed by fragment number (empty fragments included).
     fragments: Vec<ColumnarFragment>,
     total_rows: usize,
@@ -123,17 +136,31 @@ impl FragmentStore {
 
     /// Generates a fact table for `schema` from `seed` (via
     /// [`MaterialisedFactTable::generate`]) and partitions it under
-    /// `fragmentation`.
+    /// `fragmentation`, with the default adaptive representation policy.
     #[must_use]
     pub fn build(schema: &StarSchema, fragmentation: &Fragmentation, seed: u64) -> Self {
-        Self::from_table(
+        Self::build_with_policy(schema, fragmentation, seed, RepresentationPolicy::default())
+    }
+
+    /// [`FragmentStore::build`] with an explicit per-bitmap representation
+    /// policy for every fragment's indices.
+    #[must_use]
+    pub fn build_with_policy(
+        schema: &StarSchema,
+        fragmentation: &Fragmentation,
+        seed: u64,
+        policy: RepresentationPolicy,
+    ) -> Self {
+        Self::from_table_with_policy(
             schema,
             fragmentation,
             &MaterialisedFactTable::generate(schema, seed),
+            policy,
         )
     }
 
-    /// Partitions an existing materialised table under `fragmentation`.
+    /// Partitions an existing materialised table under `fragmentation` with
+    /// the default adaptive representation policy.
     ///
     /// # Panics
     ///
@@ -144,6 +171,27 @@ impl FragmentStore {
         schema: &StarSchema,
         fragmentation: &Fragmentation,
         table: &MaterialisedFactTable,
+    ) -> Self {
+        Self::from_table_with_policy(
+            schema,
+            fragmentation,
+            table,
+            RepresentationPolicy::default(),
+        )
+    }
+
+    /// [`FragmentStore::from_table`] with an explicit representation policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fragmentation yields more than [`Self::MAX_FRAGMENTS`]
+    /// fragments.
+    #[must_use]
+    pub fn from_table_with_policy(
+        schema: &StarSchema,
+        fragmentation: &Fragmentation,
+        table: &MaterialisedFactTable,
+        policy: RepresentationPolicy,
     ) -> Self {
         let fragment_count = fragmentation.fragment_count();
         assert!(
@@ -161,13 +209,21 @@ impl FragmentStore {
             .into_iter()
             .enumerate()
             .map(|(number, rows)| {
-                ColumnarFragment::build(schema, &catalog, number as u64, rows, cards.to_vec())
+                ColumnarFragment::build(
+                    schema,
+                    &catalog,
+                    policy,
+                    number as u64,
+                    rows,
+                    cards.to_vec(),
+                )
             })
             .collect();
         FragmentStore {
             schema: schema.clone(),
             fragmentation: fragmentation.clone(),
             catalog,
+            policy,
             fragments,
             total_rows: table.len(),
         }
@@ -225,12 +281,52 @@ impl FragmentStore {
         self.schema.fact().measures().len()
     }
 
+    /// The representation policy every fragment's indices were built with.
+    #[must_use]
+    pub fn policy(&self) -> RepresentationPolicy {
+        self.policy
+    }
+
+    /// Aggregate representation statistics over every fragment's indices:
+    /// how many bitmaps compressed, measured bytes vs. the verbatim
+    /// baseline.
+    #[must_use]
+    pub fn index_stats(&self) -> ReprStats {
+        let mut stats = ReprStats::default();
+        for fragment in &self.fragments {
+            stats.merge(fragment.index_stats());
+        }
+        stats
+    }
+
+    /// Measured physical size of all fragment-aligned indices, in bytes.
+    #[must_use]
+    pub fn index_size_bytes(&self) -> usize {
+        self.index_stats().size_bytes
+    }
+
+    /// Measured compression ratio of the store's indices (verbatim bytes
+    /// over stored bytes; 1.0 when nothing compressed).
+    #[must_use]
+    pub fn measured_compression_ratio(&self) -> f64 {
+        self.index_stats().compression_ratio()
+    }
+
     /// The *logical* (full-scale) bitmap-fragment sizing this fragmentation
     /// would have under the schema's page sizing — the quantity the
     /// thresholds of §4.4 constrain.
     #[must_use]
     pub fn logical_bitmap_sizing(&self) -> BitmapFragmentation {
         BitmapFragmentation::new(&PageSizing::new(&self.schema), self.fragment_count())
+    }
+
+    /// The logical sizing with the store's *measured* compression ratio
+    /// applied, so analytic page counts reflect what the chosen
+    /// representations actually occupy.
+    #[must_use]
+    pub fn measured_bitmap_sizing(&self) -> BitmapFragmentation {
+        self.logical_bitmap_sizing()
+            .with_compression_ratio(self.measured_compression_ratio())
     }
 }
 
@@ -324,6 +420,51 @@ mod tests {
         let sizing = store.logical_bitmap_sizing();
         assert_eq!(sizing.fragments(), store.fragment_count());
         assert!(sizing.bits_per_fragment() > 0.0);
+    }
+
+    #[test]
+    fn representation_policies_yield_identical_selections_and_stats() {
+        let schema = apb1_scaled_down();
+        let fragmentation =
+            Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+        let table = MaterialisedFactTable::generate(&schema, 2024);
+        let plain = FragmentStore::from_table_with_policy(
+            &schema,
+            &fragmentation,
+            &table,
+            bitmap::RepresentationPolicy::Plain,
+        );
+        let adaptive = FragmentStore::from_table(&schema, &fragmentation, &table);
+        assert_eq!(adaptive.policy(), bitmap::RepresentationPolicy::default());
+
+        // The plain store measures exactly the verbatim baseline; the
+        // adaptive store never exceeds it.
+        let plain_stats = plain.index_stats();
+        let adaptive_stats = adaptive.index_stats();
+        assert_eq!(plain_stats.size_bytes, plain_stats.plain_size_bytes);
+        assert_eq!(plain_stats.compressed, 0);
+        assert_eq!(adaptive_stats.bitmaps, plain_stats.bitmaps);
+        assert!(adaptive_stats.size_bytes <= plain_stats.size_bytes);
+        assert!(adaptive.measured_compression_ratio() >= 1.0);
+
+        // Selections agree bitmap-for-bitmap on a sample of fragments.
+        let product = schema.dimension_index("product").unwrap();
+        let group = schema.attr("product", "group").unwrap();
+        for number in 0..plain.fragment_count().min(10) {
+            let a = plain.fragment(number).bitmap_index(product);
+            let b = adaptive.fragment(number).bitmap_index(product);
+            assert_eq!(a.select(group.level, 1), b.select(group.level, 1));
+        }
+
+        // Measured sizing plumbs the ratio into the page arithmetic.
+        let measured = adaptive.measured_bitmap_sizing();
+        assert_eq!(
+            measured.compression_ratio(),
+            adaptive.measured_compression_ratio()
+        );
+        assert!(
+            measured.bytes_per_fragment() <= adaptive.logical_bitmap_sizing().bytes_per_fragment()
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ pub use workload;
 /// Convenient glob-import of the most frequently used types.
 pub mod prelude {
     pub use allocation::{BitmapPlacement, PhysicalAllocation};
-    pub use bitmap::{Bitmap, HierarchicalEncoding, IndexCatalog};
+    pub use bitmap::{
+        Bitmap, BitmapRepr, HierarchicalEncoding, IndexCatalog, ReprStats, RepresentationPolicy,
+        WahBitmap,
+    };
     pub use exec::{
         ExecConfig, ExecMetrics, FragmentStore, QueryPlan, QueryResult, StarJoinEngine,
     };
