@@ -60,7 +60,14 @@ pub fn run_point(
 /// shrinks the fact volume to roughly a quarter for CI smoke runs.
 #[must_use]
 pub fn measured_store(quick: bool) -> FragmentStore {
-    let config = if quick {
+    measured_store_fragmented(quick, &["time::month", "product::group"])
+}
+
+/// The measured-experiment APB-1 configuration behind [`measured_store`],
+/// exposed so multi-user experiments can refragment the same warehouse.
+#[must_use]
+pub fn measured_config(quick: bool) -> schema::apb1::Apb1Config {
+    if quick {
         schema::apb1::Apb1Config {
             channels: 3,
             months: 24,
@@ -78,10 +85,16 @@ pub fn measured_store(quick: bool) -> FragmentStore {
             density: 0.5,
             fact_tuple_bytes: 20,
         }
-    };
-    let schema = config.build();
-    let fragmentation = Fragmentation::parse(&schema, &["time::month", "product::group"])
-        .expect("valid fragmentation attributes");
+    }
+}
+
+/// Builds the measured warehouse under an arbitrary fragmentation — the
+/// fragmentation axis of the multi-user throughput sweep.
+#[must_use]
+pub fn measured_store_fragmented(quick: bool, attrs: &[&str]) -> FragmentStore {
+    let schema = measured_config(quick).build();
+    let fragmentation =
+        Fragmentation::parse(&schema, attrs).expect("valid fragmentation attributes");
     FragmentStore::build(&schema, &fragmentation, 7)
 }
 
@@ -90,6 +103,18 @@ pub fn measured_store(quick: bool) -> FragmentStore {
 #[must_use]
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// The value following `flag` on the command line, if any.
+#[must_use]
+pub fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == flag {
+            return args.next();
+        }
+    }
+    None
 }
 
 /// Splitmix64-style mixing, for deterministic pseudo-random bit positions

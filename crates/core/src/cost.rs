@@ -269,6 +269,75 @@ impl CostModel {
             })
             .sum()
     }
+
+    /// Multi-user throughput estimate for a closed workload of `mpl`
+    /// concurrent queries of one type on `servers` parallel processing
+    /// units (operational-analysis asymptotic bounds, with zero think
+    /// time).
+    ///
+    /// A query's service demand is its total I/O pages `D`.  Running alone
+    /// it spreads over at most `p₁ = min(servers, fragments)` units, so its
+    /// response time is bounded by `D / p₁`.  With `mpl` queries in flight
+    /// the system-wide page rate is capped by the `servers` units, giving
+    ///
+    /// ```text
+    /// X(mpl) = min(mpl · p₁, servers) / D    queries per page-time
+    /// ```
+    ///
+    /// — throughput grows linearly with the MPL while intra-query
+    /// parallelism leaves units idle, and saturates once `mpl · p₁`
+    /// reaches the pool size.  This is the trend the measured
+    /// `fig_multiuser_throughput` sweep and SIMPAD's multi-user runs are
+    /// cross-checked against; absolute page-time units cancel in the
+    /// [`MultiUserEstimate::relative_throughput`] comparison.
+    ///
+    /// `mpl` and `servers` are clamped to at least 1.
+    #[must_use]
+    pub fn multi_user_throughput(
+        &self,
+        fragmentation: &Fragmentation,
+        query: &StarQuery,
+        mpl: usize,
+        servers: usize,
+    ) -> MultiUserEstimate {
+        let mpl = mpl.max(1) as u64;
+        let servers = servers.max(1) as u64;
+        let (_, cost) = self.evaluate(fragmentation, query);
+        let per_query_pages = cost.total_pages().max(1.0);
+        let intra_parallelism = servers.min(cost.fragments_to_process).max(1);
+        let busy = |m: u64| (m * intra_parallelism).min(servers) as f64;
+        MultiUserEstimate {
+            mpl: mpl as usize,
+            servers: servers as usize,
+            per_query_pages,
+            intra_parallelism,
+            throughput: busy(mpl) / per_query_pages,
+            relative_throughput: busy(mpl) / busy(1),
+            saturation_mpl: servers as f64 / intra_parallelism as f64,
+        }
+    }
+}
+
+/// The analytic multi-user throughput bound of
+/// [`CostModel::multi_user_throughput`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiUserEstimate {
+    /// The multi-programming level the bound was evaluated at.
+    pub mpl: usize,
+    /// Number of parallel processing units assumed.
+    pub servers: usize,
+    /// Service demand of one query, in I/O pages (at least 1).
+    pub per_query_pages: f64,
+    /// Units one query can use by itself: `min(servers, fragments)`.
+    pub intra_parallelism: u64,
+    /// Throughput bound in queries per page-read-time.
+    pub throughput: f64,
+    /// Throughput relative to the same workload at MPL 1 — the unit-free
+    /// trend measured sweeps are compared against.
+    pub relative_throughput: f64,
+    /// The MPL at which the pool saturates (`servers / intra_parallelism`);
+    /// beyond it, extra in-flight queries only add queueing delay.
+    pub saturation_mpl: f64,
 }
 
 #[cfg(test)]
@@ -456,6 +525,50 @@ mod tests {
     #[should_panic(expected = "positive and finite")]
     fn non_positive_measured_compression_rejected() {
         let _ = model().with_measured_compression(f64::NAN);
+    }
+
+    #[test]
+    fn multi_user_throughput_scales_until_the_pool_saturates() {
+        // 1MONTH1GROUP under F_MonthGroup prunes to a single fragment, so a
+        // lone query keeps 3 of 4 units idle: throughput must grow linearly
+        // with the MPL up to 4x and then saturate.
+        let m = model();
+        let f = Fragmentation::parse(m.schema(), &["time::month", "product::group"]).unwrap();
+        let q = StarQuery::exact_match(
+            m.schema(),
+            "1MONTH1GROUP",
+            &["time::month", "product::group"],
+        );
+        let mut previous = 0.0;
+        for mpl in [1usize, 2, 4] {
+            let estimate = m.multi_user_throughput(&f, &q, mpl, 4);
+            assert_eq!(estimate.intra_parallelism, 1);
+            assert!((estimate.relative_throughput - mpl as f64).abs() < 1e-12);
+            assert!(estimate.throughput > previous);
+            previous = estimate.throughput;
+        }
+        let saturated = m.multi_user_throughput(&f, &q, 8, 4);
+        assert!((saturated.relative_throughput - 4.0).abs() < 1e-12);
+        assert!((saturated.saturation_mpl - 4.0).abs() < 1e-12);
+        assert_eq!(
+            saturated.throughput,
+            m.multi_user_throughput(&f, &q, 4, 4).throughput
+        );
+
+        // 1MONTH spans 480 fragments: one query already saturates 4 units,
+        // so adding users cannot raise the throughput bound.
+        let q_month = StarQuery::exact_match(m.schema(), "1MONTH", &["time::month"]);
+        let alone = m.multi_user_throughput(&f, &q_month, 1, 4);
+        assert_eq!(alone.intra_parallelism, 4);
+        for mpl in [2usize, 8] {
+            let estimate = m.multi_user_throughput(&f, &q_month, mpl, 4);
+            assert!((estimate.relative_throughput - 1.0).abs() < 1e-12);
+        }
+        // Degenerate inputs are clamped rather than dividing by zero.
+        let clamped = m.multi_user_throughput(&f, &q, 0, 0);
+        assert_eq!(clamped.mpl, 1);
+        assert_eq!(clamped.servers, 1);
+        assert!((clamped.relative_throughput - 1.0).abs() < 1e-12);
     }
 
     #[test]

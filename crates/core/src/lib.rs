@@ -32,7 +32,7 @@ pub mod thresholds;
 
 pub use advisor::{Advisor, AdvisorConfig, RankedFragmentation};
 pub use classify::{classify, BitmapRequirement, Classification, IoClass, QueryClass};
-pub use cost::{CostModel, CostParameters, QueryIoCost};
+pub use cost::{CostModel, CostParameters, MultiUserEstimate, QueryIoCost};
 pub use enumerate::{enumerate_fragmentations, table2_census, Table2Row};
 pub use fragmentation::{FragmentCoordinates, Fragmentation, FragmentationError};
 pub use query::{Predicate, StarQuery};

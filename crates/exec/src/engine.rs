@@ -65,8 +65,8 @@ impl ExecConfig {
         self
     }
 
-    /// The actual pool size: `workers`, or the machine's available
-    /// parallelism when `workers` is `0`.
+    /// The configured pool size: `workers`, or the machine's available
+    /// parallelism when `workers` is `0`.  Always at least 1.
     #[must_use]
     pub fn resolved_workers(&self) -> usize {
         if self.workers > 0 {
@@ -74,6 +74,22 @@ impl ExecConfig {
         } else {
             thread::available_parallelism().map_or(1, NonZeroUsize::get)
         }
+        .max(1)
+    }
+
+    /// The pool size actually spawned for `tasks` runnable tasks: the
+    /// resolved worker count, clamped to the task count and to at least 1.
+    ///
+    /// Both execution paths size their pool through this one function: the
+    /// single-query engine passes its plan's fragment count (a pruned Q1
+    /// query must not pay for idle threads), the multi-query
+    /// [`crate::scheduler`] passes the *whole stream's* task count and then
+    /// shares that one pool across all in-flight queries — admitting more
+    /// queries (MPL > 1) interleaves tasks instead of spawning more threads,
+    /// so the machine is never over-subscribed.
+    #[must_use]
+    pub fn pool_size(&self, tasks: usize) -> usize {
+        self.resolved_workers().min(tasks).max(1)
     }
 }
 
@@ -100,11 +116,34 @@ pub struct QueryResult {
 
 /// Partial aggregate of one fragment, tagged with its plan position so the
 /// merge can fold in deterministic order.
-struct FragmentPartial {
-    task: usize,
-    rows: u64,
-    hits: u64,
-    sums: Vec<f64>,
+pub(crate) struct FragmentPartial {
+    pub(crate) task: usize,
+    pub(crate) rows: u64,
+    pub(crate) hits: u64,
+    pub(crate) sums: Vec<f64>,
+}
+
+/// Folds per-fragment partials into `(hits, measure_sums)` in ascending
+/// plan-position order.
+///
+/// This is **the** deterministic merge: both the single-query engine and the
+/// multi-query scheduler route their partials through it, so float addition
+/// order — and therefore the result bits — depends only on the plan, never
+/// on worker count, MPL or scheduling interleave.
+pub(crate) fn merge_partials(
+    partials: &mut [FragmentPartial],
+    measure_count: usize,
+) -> (u64, Vec<f64>) {
+    partials.sort_unstable_by_key(|p| p.task);
+    let mut measure_sums = vec![0.0f64; measure_count];
+    let mut hits = 0u64;
+    for partial in partials.iter() {
+        hits += partial.hits;
+        for (acc, value) in measure_sums.iter_mut().zip(&partial.sums) {
+            *acc += value;
+        }
+    }
+    (hits, measure_sums)
 }
 
 /// A parallel star-join execution engine over a materialised
@@ -155,7 +194,7 @@ impl StarJoinEngine {
     /// shared work-stealing queue.
     #[must_use]
     pub fn execute_plan(&self, plan: &QueryPlan, config: &ExecConfig) -> QueryResult {
-        let workers = config.resolved_workers().min(plan.fragments().len()).max(1);
+        let workers = config.pool_size(plan.fragments().len());
         let bitmap_predicates = plan.bitmap_predicates();
         let start = Instant::now();
         let queue = match &config.placement {
@@ -195,15 +234,7 @@ impl StarJoinEngine {
             worker_metrics.push(metrics);
         }
         worker_metrics.sort_by_key(|m| m.worker);
-        partials.sort_unstable_by_key(|p| p.task);
-        let mut measure_sums = vec![0.0f64; self.store.measure_count()];
-        let mut hits = 0u64;
-        for partial in &partials {
-            hits += partial.hits;
-            for (acc, value) in measure_sums.iter_mut().zip(&partial.sums) {
-                *acc += value;
-            }
-        }
+        let (hits, measure_sums) = merge_partials(&mut partials, self.store.measure_count());
         QueryResult {
             query_name: plan.query_name().to_string(),
             hits,
@@ -220,7 +251,7 @@ impl StarJoinEngine {
 /// The disk-affinity task permutation: tasks sorted (stably) by the disk
 /// set their fragment subquery touches under `placement`, so contiguous
 /// queue chunks map to contiguous slices of the physical allocation.
-fn placement_seed_order(
+pub(crate) fn placement_seed_order(
     plan: &QueryPlan,
     store: &FragmentStore,
     placement: &PhysicalAllocation,
@@ -268,7 +299,7 @@ fn run_worker(
 /// fast path) followed by partial aggregation of every measure.  Returns
 /// the partial plus whether the selection ran fully in the compressed
 /// domain.
-fn process_fragment(
+pub(crate) fn process_fragment(
     fragment: &ColumnarFragment,
     bitmap_predicates: &[PredicateBinding],
     measure_count: usize,
@@ -464,6 +495,11 @@ mod tests {
         assert_eq!(ExecConfig::serial().resolved_workers(), 1);
         assert_eq!(ExecConfig::with_workers(6).resolved_workers(), 6);
         assert!(ExecConfig::default().resolved_workers() >= 1);
+        // The shared pool-sizing rule: clamped to the task count, never 0.
+        assert_eq!(ExecConfig::with_workers(8).pool_size(3), 3);
+        assert_eq!(ExecConfig::with_workers(2).pool_size(100), 2);
+        assert_eq!(ExecConfig::with_workers(5).pool_size(0), 1);
+        assert!(ExecConfig::default().pool_size(64) >= 1);
         assert_eq!(ExecConfig::default().placement, None);
         let placed = ExecConfig::with_workers(2).with_placement(PhysicalAllocation::round_robin(8));
         assert_eq!(placed.placement, Some(PhysicalAllocation::round_robin(8)));

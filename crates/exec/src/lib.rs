@@ -25,7 +25,15 @@
 //!   selection bitmap is WAH) and partial aggregation, and a deterministic
 //!   merge — parallel results are bit-identical to serial ones under every
 //!   representation policy,
-//! * [`ExecMetrics`] reports per-worker accounting and wall-clock speedup.
+//! * [`ExecMetrics`] reports per-worker accounting and wall-clock speedup,
+//! * [`QueryScheduler`] lifts the engine from one query at a time to the
+//!   paper's **multi-user** regime: a stream of bound queries is admitted
+//!   under an MPL limit onto a *single shared* work-stealing pool, tasks
+//!   from all in-flight queries interleave (tagged with query id and disk
+//!   affinity), each query's result is merged deterministically (bit-
+//!   identical to its serial run) and [`ThroughputMetrics`] reports
+//!   queries/sec, the latency distribution, utilisation, steals and the
+//!   disk-affinity hit rate.
 //!
 //! # Quick start
 //!
@@ -54,10 +62,12 @@ pub mod engine;
 pub mod metrics;
 pub mod plan;
 pub mod queue;
+pub mod scheduler;
 pub mod store;
 
 pub use engine::{ExecConfig, QueryResult, StarJoinEngine};
-pub use metrics::{ExecMetrics, WorkerMetrics};
+pub use metrics::{ExecMetrics, ThroughputMetrics, WorkerMetrics};
 pub use plan::{PredicateBinding, QueryPlan};
 pub use queue::{Claim, FragmentQueue};
+pub use scheduler::{QueryScheduler, ScheduledQuery, SchedulerConfig, StreamOutcome};
 pub use store::{ColumnarFragment, FragmentStore};

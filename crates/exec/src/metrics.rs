@@ -1,4 +1,5 @@
-//! Execution metrics: per-worker accounting and wall-clock speedup.
+//! Execution metrics: per-worker accounting, wall-clock speedup, and
+//! multi-user throughput statistics.
 
 use std::time::Duration;
 
@@ -96,6 +97,100 @@ impl ExecMetrics {
     }
 }
 
+/// Metrics of one multi-user scheduler run: the shared pool's aggregate
+/// accounting plus per-query latency statistics — the paper's multi-user
+/// throughput quantities (queries/sec, response-time distribution, worker
+/// utilisation, steal and disk-affinity rates).
+#[derive(Debug, Clone)]
+pub struct ThroughputMetrics {
+    /// Aggregate pool accounting over the whole run.  `planned_fragments`
+    /// is the total task count across all executed queries, and each
+    /// worker's `busy` is the sum of its per-task processing times.
+    pub pool: ExecMetrics,
+    /// Number of queries that ran to completion.
+    pub queries_completed: usize,
+    /// Per-query latency (admission → completion), in submission order.
+    pub latencies: Vec<Duration>,
+    /// The admission-control limit (MPL) the run was admitted under.
+    pub mpl: usize,
+}
+
+impl ThroughputMetrics {
+    /// Completed queries per second of wall-clock time — the multi-user
+    /// throughput metric of the paper's SIMPAD experiments.
+    #[must_use]
+    pub fn queries_per_sec(&self) -> f64 {
+        self.queries_completed as f64 / self.pool.wall.as_secs_f64().max(f64::EPSILON)
+    }
+
+    /// Mean per-query latency.
+    #[must_use]
+    pub fn latency_mean(&self) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        self.latencies.iter().sum::<Duration>() / self.latencies.len() as u32
+    }
+
+    /// The `p`-th latency percentile (nearest rank over the sorted
+    /// latencies); `p` is clamped to `[0, 100]`.
+    #[must_use]
+    pub fn latency_percentile(&self, p: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+        sorted[rank.round() as usize]
+    }
+
+    /// The slowest query's latency.
+    #[must_use]
+    pub fn latency_max(&self) -> Duration {
+        self.latencies
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Fraction of wall × workers the pool spent processing tasks (0–1).
+    /// Low utilisation at MPL 1 with single-fragment queries is exactly the
+    /// idle capacity multi-user admission recovers.
+    #[must_use]
+    pub fn worker_utilisation(&self) -> f64 {
+        let capacity = self.pool.wall.as_secs_f64() * self.pool.worker_count() as f64;
+        if capacity <= f64::EPSILON {
+            return 0.0;
+        }
+        let busy: f64 = self.pool.workers.iter().map(|w| w.busy.as_secs_f64()).sum();
+        (busy / capacity).min(1.0)
+    }
+
+    /// Fraction of tasks that changed owner through stealing.
+    #[must_use]
+    pub fn steal_rate(&self) -> f64 {
+        let total = self.pool.total_fragments();
+        if total == 0 {
+            return 0.0;
+        }
+        self.pool.total_stolen() as f64 / total as f64
+    }
+
+    /// Fraction of tasks executed by the worker they were seeded to — with
+    /// a placement-aware seed order, the disk-affinity hit rate (a stolen
+    /// task runs off its affine disk stripe).
+    #[must_use]
+    pub fn affinity_hit_rate(&self) -> f64 {
+        let total = self.pool.total_fragments();
+        if total == 0 {
+            return 1.0;
+        }
+        (total - self.pool.total_stolen()) as f64 / total as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +241,53 @@ mod tests {
         assert!((skewed.load_imbalance() - 4.0).abs() < 1e-12);
         // A degenerate all-idle pool reports perfect balance, not NaN.
         assert!((metrics(&[0]).load_imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    fn throughput(busy_ms: &[u64], latencies_ms: &[u64]) -> ThroughputMetrics {
+        ThroughputMetrics {
+            pool: metrics(busy_ms),
+            queries_completed: latencies_ms.len(),
+            latencies: latencies_ms
+                .iter()
+                .map(|&ms| Duration::from_millis(ms))
+                .collect(),
+            mpl: 4,
+        }
+    }
+
+    #[test]
+    fn throughput_is_queries_over_wall() {
+        // Wall is max(busy) = 100 ms, 5 queries → 50 queries/sec.
+        let t = throughput(&[100, 100], &[10, 20, 30, 40, 50]);
+        assert!((t.queries_per_sec() - 50.0).abs() < 1e-9);
+        assert_eq!(t.queries_completed, 5);
+        assert_eq!(t.mpl, 4);
+    }
+
+    #[test]
+    fn latency_distribution() {
+        let t = throughput(&[100], &[30, 10, 50, 20, 40]);
+        assert_eq!(t.latency_mean(), Duration::from_millis(30));
+        assert_eq!(t.latency_percentile(0.0), Duration::from_millis(10));
+        assert_eq!(t.latency_percentile(50.0), Duration::from_millis(30));
+        assert_eq!(t.latency_percentile(100.0), Duration::from_millis(50));
+        assert_eq!(t.latency_max(), Duration::from_millis(50));
+        // An empty run degrades to zeros instead of panicking.
+        let empty = throughput(&[100], &[]);
+        assert_eq!(empty.latency_mean(), Duration::ZERO);
+        assert_eq!(empty.latency_percentile(95.0), Duration::ZERO);
+        assert_eq!(empty.latency_max(), Duration::ZERO);
+        assert_eq!(empty.queries_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn utilisation_steals_and_affinity() {
+        // Wall 40 ms, 4 workers, busy sums to 40+30+20+10 = 100 of 160.
+        let t = throughput(&[40, 30, 20, 10], &[10, 10]);
+        assert!((t.worker_utilisation() - 100.0 / 160.0).abs() < 1e-9);
+        // metrics() marks one steal per worker past the first: 3 of 8 tasks.
+        assert!((t.steal_rate() - 3.0 / 8.0).abs() < 1e-12);
+        assert!((t.affinity_hit_rate() - 5.0 / 8.0).abs() < 1e-12);
+        assert!((t.steal_rate() + t.affinity_hit_rate() - 1.0).abs() < 1e-12);
     }
 }

@@ -86,6 +86,13 @@ impl QueryPlan {
         &self.fragments
     }
 
+    /// Number of per-fragment tasks this plan decomposes into — the unit of
+    /// work the scheduler admits onto the shared pool.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.fragments.len()
+    }
+
     /// All bound predicates, in query predicate order.
     #[must_use]
     pub fn predicates(&self) -> &[PredicateBinding] {

@@ -10,6 +10,77 @@
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
+/// The lock-per-worker deque set underneath every work-stealing queue in
+/// this crate: [`FragmentQueue`] (one query, tasks fixed up front) and the
+/// multi-query [`crate::scheduler`] (tasks arrive as queries are admitted).
+///
+/// Each worker owns one deque; owners pop from the front, thieves steal
+/// from the back of the most loaded victim.  `T` is whatever the caller
+/// uses as a task — a bare fragment index for the single-query engine, a
+/// query-tagged task for the scheduler.
+#[derive(Debug)]
+pub(crate) struct StealDeques<T> {
+    deques: Vec<Mutex<VecDeque<T>>>,
+}
+
+impl<T> StealDeques<T> {
+    /// Creates one empty deque per worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "a queue needs at least one worker");
+        StealDeques {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        }
+    }
+
+    /// Number of workers the deque set was created for.
+    pub fn workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Appends `task` to the back of `worker`'s own deque.
+    pub fn push(&self, worker: usize, task: T) {
+        self.lock(worker).push_back(task);
+    }
+
+    /// Pops the next task from `worker`'s own deque front.
+    pub fn pop_own(&self, worker: usize) -> Option<T> {
+        assert!(worker < self.deques.len(), "worker index out of range");
+        self.lock(worker).pop_front()
+    }
+
+    /// Steals a task from the back of the most loaded other deque.
+    ///
+    /// Loads can change between snapshot and steal, so victims are re-checked
+    /// under their lock in descending-load order until one yields a task.
+    pub fn steal(&self, worker: usize) -> Option<T> {
+        let mut victims: Vec<(usize, usize)> = (0..self.deques.len())
+            .filter(|&v| v != worker)
+            .map(|v| (self.lock(v).len(), v))
+            .filter(|&(len, _)| len > 0)
+            .collect();
+        victims.sort_unstable_by(|a, b| b.cmp(a));
+        for (_, victim) in victims {
+            if let Some(task) = self.lock(victim).pop_back() {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Total number of unclaimed tasks across all deques.
+    pub fn total_len(&self) -> usize {
+        (0..self.deques.len()).map(|w| self.lock(w).len()).sum()
+    }
+
+    fn lock(&self, worker: usize) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        self.deques[worker].lock().expect("queue lock poisoned")
+    }
+}
+
 /// How a task was obtained from the queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Claim {
@@ -32,7 +103,7 @@ impl Claim {
 /// A work-stealing queue over task indices `0..tasks`.
 #[derive(Debug)]
 pub struct FragmentQueue {
-    deques: Vec<Mutex<VecDeque<usize>>>,
+    deques: StealDeques<usize>,
 }
 
 impl FragmentQueue {
@@ -60,7 +131,6 @@ impl FragmentQueue {
     /// count twice in the merge).
     #[must_use]
     pub fn with_seed_order(order: Vec<usize>, workers: usize) -> Self {
-        assert!(workers > 0, "a queue needs at least one worker");
         let tasks = order.len();
         let mut seen = vec![false; tasks];
         for &task in &order {
@@ -69,22 +139,20 @@ impl FragmentQueue {
                 "seed order must be a permutation of 0..{tasks}"
             );
         }
-        let mut deques: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        let deques = StealDeques::new(workers);
         for (position, task) in order.into_iter().enumerate() {
             // Balanced contiguous chunks: worker w owns the positions with
             // position * workers / tasks == w.
             let owner = position * workers / tasks;
-            deques[owner].push_back(task);
+            deques.push(owner, task);
         }
-        FragmentQueue {
-            deques: deques.into_iter().map(Mutex::new).collect(),
-        }
+        FragmentQueue { deques }
     }
 
     /// Number of workers the queue was created for.
     #[must_use]
     pub fn workers(&self) -> usize {
-        self.deques.len()
+        self.deques.workers()
     }
 
     /// Claims the next task for `worker`: first from its own deque's front,
@@ -96,35 +164,16 @@ impl FragmentQueue {
     /// Panics if `worker` is out of range or a deque lock is poisoned.
     #[must_use]
     pub fn claim(&self, worker: usize) -> Option<Claim> {
-        assert!(worker < self.deques.len(), "worker index out of range");
-        if let Some(task) = self.lock(worker).pop_front() {
+        if let Some(task) = self.deques.pop_own(worker) {
             return Some(Claim::Own(task));
         }
-        // Snapshot victim loads, then try them in descending-load order.
-        // Loads can change between snapshot and steal, so re-check under the
-        // victim's lock and fall through to the next candidate when raced.
-        let mut victims: Vec<(usize, usize)> = (0..self.deques.len())
-            .filter(|&v| v != worker)
-            .map(|v| (self.lock(v).len(), v))
-            .filter(|&(len, _)| len > 0)
-            .collect();
-        victims.sort_unstable_by(|a, b| b.cmp(a));
-        for (_, victim) in victims {
-            if let Some(task) = self.lock(victim).pop_back() {
-                return Some(Claim::Stolen(task));
-            }
-        }
-        None
+        self.deques.steal(worker).map(Claim::Stolen)
     }
 
     /// Total number of unclaimed tasks across all deques.
     #[must_use]
     pub fn remaining(&self) -> usize {
-        (0..self.deques.len()).map(|w| self.lock(w).len()).sum()
-    }
-
-    fn lock(&self, worker: usize) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
-        self.deques[worker].lock().expect("queue lock poisoned")
+        self.deques.total_len()
     }
 }
 

@@ -1,0 +1,759 @@
+//! The concurrent multi-query scheduler: inter-query parallelism over one
+//! shared worker pool.
+//!
+//! The paper's multi-user experiments stress exactly the regime the
+//! single-query engine cannot reach: many concurrent star queries competing
+//! for the same disks and CPUs, where throughput — not single-query speedup
+//! — decides the fragmentation and allocation choice.  [`QueryScheduler`]
+//! supplies the missing layer:
+//!
+//! * a stream of [`BoundQuery`]s is planned up front and **admitted** under
+//!   an MPL (multi-programming level) limit — at most
+//!   [`SchedulerConfig::max_in_flight`] queries are decomposed into
+//!   per-fragment tasks at any time, the rest wait in FIFO order,
+//! * every task is tagged with its query's in-flight slot and its plan
+//!   position, and carries its disk affinity: when a placement is
+//!   configured, each admitted query's tasks are dealt to the workers in
+//!   [`allocation::PhysicalAllocation::subquery_disks`] order
+//!   ([`crate::engine::placement_seed_order`]), so a worker's chunk maps to
+//!   a contiguous disk stripe,
+//! * **one** work-stealing pool of [`ExecConfig::pool_size`] workers serves
+//!   *all* in-flight queries — tasks from different queries interleave in
+//!   the shared deques instead of each query spawning its own pool, so
+//!   MPL > 1 never over-subscribes the machine,
+//! * each completed query is merged **deterministically** in plan order
+//!   through the same fold as the single-query engine
+//!   ([`crate::engine::merge_partials`]), so every query's hits and measure
+//!   sums are bit-identical to its isolated serial run, for every MPL,
+//!   worker count and scheduling interleave,
+//! * the run reports [`ThroughputMetrics`]: queries/sec, the per-query
+//!   latency distribution, worker utilisation, steal counts and the
+//!   disk-affinity hit rate.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use workload::{BoundQuery, QueryStream};
+
+use crate::engine::{
+    merge_partials, placement_seed_order, process_fragment, ExecConfig, FragmentPartial,
+    StarJoinEngine,
+};
+use crate::metrics::{ExecMetrics, ThroughputMetrics, WorkerMetrics};
+use crate::plan::PredicateBinding;
+use crate::queue::StealDeques;
+
+/// Configuration of a multi-query scheduler run.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// The shared pool: worker count and optional placement (which seeds
+    /// each admitted query's tasks in disk-affinity order).
+    pub exec: ExecConfig,
+    /// Admission-control limit: the maximum number of queries decomposed
+    /// into tasks at any time (the multi-programming level).  `0` is
+    /// clamped to 1.
+    pub max_in_flight: usize,
+}
+
+impl SchedulerConfig {
+    /// A pool of `workers` threads admitting at most `max_in_flight`
+    /// queries.
+    #[must_use]
+    pub fn new(workers: usize, max_in_flight: usize) -> Self {
+        SchedulerConfig {
+            exec: ExecConfig::with_workers(workers),
+            max_in_flight,
+        }
+    }
+
+    /// Derives the MPL from a workload stream description: a single-user
+    /// stream admits one query at a time, a multi-user stream as many as it
+    /// has concurrent users.
+    #[must_use]
+    pub fn from_stream(workers: usize, stream: QueryStream) -> Self {
+        SchedulerConfig::new(workers, stream.max_in_flight())
+    }
+
+    /// Seeds every admitted query's tasks in `placement`'s disk-affinity
+    /// order.
+    #[must_use]
+    pub fn with_placement(mut self, placement: allocation::PhysicalAllocation) -> Self {
+        self.exec = self.exec.with_placement(placement);
+        self
+    }
+
+    /// The effective MPL (at least 1).
+    #[must_use]
+    pub fn mpl(&self) -> usize {
+        self.max_in_flight.max(1)
+    }
+}
+
+/// The result of one scheduled query, in submission order.
+///
+/// `hits` and `measure_sums` are bit-identical to the query's isolated
+/// serial execution ([`StarJoinEngine::execute_serial`]).
+#[derive(Debug, Clone)]
+pub struct ScheduledQuery {
+    /// Position of the query in the submitted stream.
+    pub query_id: usize,
+    /// The query's diagnostic name.
+    pub query_name: String,
+    /// Number of fact rows satisfying all predicates.
+    pub hits: u64,
+    /// Sum per measure over all hit rows, in schema measure order.
+    pub measure_sums: Vec<f64>,
+    /// Number of per-fragment tasks the query's plan decomposed into.
+    pub planned_fragments: usize,
+    /// Fact rows scanned across the query's tasks.
+    pub rows_scanned: u64,
+    /// Time from run start until the query was admitted (admission-control
+    /// queueing delay).
+    pub admission_wait: Duration,
+    /// Time from admission until the last task's partial was merged — the
+    /// per-query response time of the multi-user workload.
+    pub latency: Duration,
+}
+
+/// The outcome of one scheduler run: per-query results in submission order
+/// plus the shared pool's throughput metrics.
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// One result per submitted query, in submission order.
+    pub queries: Vec<ScheduledQuery>,
+    /// Aggregate throughput metrics of the run.
+    pub metrics: ThroughputMetrics,
+}
+
+/// One claimable unit of work: a fragment of an in-flight query.
+struct Task {
+    /// In-flight slot of the owning query.
+    slot: usize,
+    /// Position within the owning plan's fragment list (merge order).
+    task: usize,
+    /// The store fragment number to process.
+    fragment: u64,
+    /// The owning query's bitmap predicates (shared across its tasks).
+    bindings: Arc<Vec<PredicateBinding>>,
+}
+
+/// A planned query waiting for, or in, admission (immutable during the run).
+struct Prepared {
+    query_name: String,
+    /// Plan fragment numbers, in plan (merge) order.
+    fragments: Vec<u64>,
+    /// Task indices in seeding order: the disk-affinity permutation when a
+    /// placement is configured, plan order otherwise.
+    seed_order: Vec<usize>,
+    bindings: Arc<Vec<PredicateBinding>>,
+}
+
+/// Mutable bookkeeping of one admitted query.
+struct InFlight {
+    query_id: usize,
+    partials: Vec<FragmentPartial>,
+    remaining: usize,
+    admitted_at: Instant,
+    admission_wait: Duration,
+}
+
+/// All state the admission/completion logic mutates, under one lock.
+struct Control {
+    /// Query ids not yet admitted, in FIFO order.
+    pending: VecDeque<usize>,
+    /// In-flight queries by slot; `None` slots are free.
+    slots: Vec<Option<InFlight>>,
+    free_slots: Vec<usize>,
+    /// Number of admitted-but-unfinished queries.
+    active: usize,
+    /// Number of submitted-but-unfinished queries (admitted or pending).
+    unfinished: usize,
+    /// Results by query id.
+    results: Vec<Option<ScheduledQuery>>,
+    /// Rotating worker cursor so consecutive small queries start on
+    /// different workers instead of all piling onto worker 0.
+    seed_cursor: usize,
+}
+
+/// Everything the workers share.
+struct Shared {
+    deques: StealDeques<Task>,
+    control: Mutex<Control>,
+    /// Signalled when tasks are pushed or the run finishes.
+    work: Condvar,
+    prepared: Vec<Prepared>,
+    mpl: usize,
+    measure_count: usize,
+    started: Instant,
+}
+
+impl Shared {
+    /// Admits pending queries until the MPL limit is reached, dealing each
+    /// admitted query's tasks across the worker deques in seed order.
+    /// Zero-task queries complete at admission.  Call with the control lock
+    /// held; the caller notifies the condvar.
+    fn admit(&self, control: &mut Control) {
+        while control.active < self.mpl {
+            let Some(query_id) = control.pending.pop_front() else {
+                break;
+            };
+            let prepared = &self.prepared[query_id];
+            let admitted_at = Instant::now();
+            let admission_wait = admitted_at.duration_since(self.started);
+            if prepared.fragments.is_empty() {
+                // Defensive: plans currently always hold ≥1 fragment, but an
+                // empty one must complete rather than hang the stream.
+                control.results[query_id] = Some(finalize(
+                    query_id,
+                    prepared,
+                    &mut [],
+                    self.measure_count,
+                    admission_wait,
+                    Duration::ZERO,
+                ));
+                control.unfinished -= 1;
+                continue;
+            }
+            let slot = control.free_slots.pop().unwrap_or_else(|| {
+                control.slots.push(None);
+                control.slots.len() - 1
+            });
+            control.slots[slot] = Some(InFlight {
+                query_id,
+                partials: Vec::with_capacity(prepared.fragments.len()),
+                remaining: prepared.fragments.len(),
+                admitted_at,
+                admission_wait,
+            });
+            control.active += 1;
+            // Deal the tasks in balanced contiguous chunks of the seed
+            // order (the same `position * workers / tasks` chunking as
+            // `FragmentQueue::with_seed_order`, rotated by the cursor):
+            // big queries spread over the whole pool with no worker left
+            // empty by rounding, and consecutive single-task queries land
+            // on distinct workers.
+            let workers = self.deques.workers();
+            let first = control.seed_cursor;
+            control.seed_cursor = (control.seed_cursor + 1) % workers;
+            let tasks = prepared.seed_order.len();
+            for (position, &task) in prepared.seed_order.iter().enumerate() {
+                let home = (first + position * workers / tasks) % workers;
+                self.deques.push(
+                    home,
+                    Task {
+                        slot,
+                        task,
+                        fragment: prepared.fragments[task],
+                        bindings: Arc::clone(&prepared.bindings),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Deposits one finished task's partial; on a query's last task, frees
+    /// the slot, admits the next pending queries, and merges the result.
+    ///
+    /// The deterministic merge (sort + float fold over all of the query's
+    /// partials) runs *outside* the control lock so a fat query's
+    /// finalisation never stalls the other workers' deposits or the
+    /// admission path; only the result store re-takes the lock.
+    fn deposit(&self, task_slot: usize, partial: FragmentPartial) {
+        let mut done = {
+            let mut control = self.lock_control();
+            let in_flight = control.slots[task_slot]
+                .as_mut()
+                .expect("deposit into an empty slot");
+            in_flight.partials.push(partial);
+            in_flight.remaining -= 1;
+            if in_flight.remaining > 0 {
+                return;
+            }
+            let done = control.slots[task_slot].take().expect("slot just used");
+            control.free_slots.push(task_slot);
+            control.active -= 1;
+            self.admit(&mut control);
+            // Wake idle workers for the newly dealt tasks.  `unfinished`
+            // stays counted until the result below is stored, so no worker
+            // can exit before every result exists.
+            self.work.notify_all();
+            done
+        };
+        let latency = done.admitted_at.elapsed();
+        let result = finalize(
+            done.query_id,
+            &self.prepared[done.query_id],
+            &mut done.partials,
+            self.measure_count,
+            done.admission_wait,
+            latency,
+        );
+        let mut control = self.lock_control();
+        control.results[done.query_id] = Some(result);
+        control.unfinished -= 1;
+        if control.unfinished == 0 {
+            // Nothing left anywhere: wake everyone so they observe the end.
+            self.work.notify_all();
+        }
+    }
+
+    fn lock_control(&self) -> MutexGuard<'_, Control> {
+        self.control
+            .lock()
+            .expect("scheduler control lock poisoned")
+    }
+}
+
+/// Merges a completed query's partials into its deterministic result.
+fn finalize(
+    query_id: usize,
+    prepared: &Prepared,
+    partials: &mut [FragmentPartial],
+    measure_count: usize,
+    admission_wait: Duration,
+    latency: Duration,
+) -> ScheduledQuery {
+    let rows_scanned = partials.iter().map(|p| p.rows).sum();
+    let (hits, measure_sums) = merge_partials(partials, measure_count);
+    ScheduledQuery {
+        query_id,
+        query_name: prepared.query_name.clone(),
+        hits,
+        measure_sums,
+        planned_fragments: prepared.fragments.len(),
+        rows_scanned,
+        admission_wait,
+        latency,
+    }
+}
+
+/// One worker's loop: claim tasks from any in-flight query until every
+/// submitted query has finished.
+fn worker_loop(shared: &Shared, engine: &StarJoinEngine, worker: usize) -> WorkerMetrics {
+    let store = engine.store();
+    let mut metrics = WorkerMetrics {
+        worker,
+        ..WorkerMetrics::default()
+    };
+    loop {
+        let (task, stolen) = match shared.deques.pop_own(worker) {
+            Some(task) => (task, false),
+            None => match shared.deques.steal(worker) {
+                Some(task) => (task, true),
+                None => {
+                    let mut control = shared.lock_control();
+                    if control.unfinished == 0 {
+                        break;
+                    }
+                    // Tasks are only pushed under the control lock, so an
+                    // empty deque set observed *while holding it* cannot race
+                    // a push: wait for the next deposit/admission signal.
+                    if shared.deques.total_len() == 0 {
+                        control = shared
+                            .work
+                            .wait(control)
+                            .expect("scheduler control lock poisoned");
+                    }
+                    drop(control);
+                    continue;
+                }
+            },
+        };
+        let task_started = Instant::now();
+        let fragment = store.fragment(task.fragment);
+        let (partial, compressed) =
+            process_fragment(fragment, &task.bindings, store.measure_count(), task.task);
+        metrics.busy += task_started.elapsed();
+        metrics.fragments_processed += 1;
+        metrics.fragments_stolen += usize::from(stolen);
+        metrics.fragments_compressed += usize::from(compressed);
+        metrics.rows_scanned += partial.rows;
+        metrics.rows_matched += partial.hits;
+        shared.deposit(task.slot, partial);
+    }
+    metrics
+}
+
+/// A concurrent multi-query scheduler over a [`StarJoinEngine`]'s store.
+#[derive(Debug)]
+pub struct QueryScheduler<'e> {
+    engine: &'e StarJoinEngine,
+    config: SchedulerConfig,
+}
+
+impl<'e> QueryScheduler<'e> {
+    /// Creates a scheduler over `engine`'s store with `config`.
+    #[must_use]
+    pub fn new(engine: &'e StarJoinEngine, config: SchedulerConfig) -> Self {
+        QueryScheduler { engine, config }
+    }
+
+    /// The scheduler's configuration.
+    #[must_use]
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Plans, admits and executes `queries` on the shared pool, returning
+    /// per-query results in submission order plus throughput metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics.
+    #[must_use]
+    pub fn run(&self, queries: &[BoundQuery]) -> StreamOutcome {
+        let store = self.engine.store();
+        let placement = self.config.exec.placement.as_ref();
+        let prepared: Vec<Prepared> = queries
+            .iter()
+            .map(|bound| {
+                let plan = self.engine.plan(bound);
+                let seed_order = match placement {
+                    Some(placement) => placement_seed_order(&plan, store, placement),
+                    None => (0..plan.task_count()).collect(),
+                };
+                Prepared {
+                    query_name: plan.query_name().to_string(),
+                    seed_order,
+                    bindings: Arc::new(plan.bitmap_predicates()),
+                    fragments: plan.fragments().to_vec(),
+                }
+            })
+            .collect();
+        let total_tasks: usize = prepared.iter().map(|p| p.fragments.len()).sum();
+        // One shared pool for the whole stream — sized once, by the same
+        // rule as the single-query engine, never per admitted query.
+        let workers = self.config.exec.pool_size(total_tasks);
+        let query_count = prepared.len();
+
+        // The run clock starts *after* planning (like `ExecMetrics::wall`),
+        // so admission waits measure queueing delay and queries/sec measures
+        // execution throughput, not upfront plan time.
+        let started = Instant::now();
+        let shared = Shared {
+            deques: StealDeques::new(workers),
+            control: Mutex::new(Control {
+                pending: (0..query_count).collect(),
+                slots: Vec::new(),
+                free_slots: Vec::new(),
+                active: 0,
+                unfinished: query_count,
+                results: (0..query_count).map(|_| None).collect(),
+                seed_cursor: 0,
+            }),
+            work: Condvar::new(),
+            prepared,
+            mpl: self.config.mpl(),
+            measure_count: store.measure_count(),
+            started,
+        };
+
+        {
+            let mut control = shared.lock_control();
+            shared.admit(&mut control);
+        }
+
+        let mut worker_metrics: Vec<WorkerMetrics> = if workers == 1 {
+            vec![worker_loop(&shared, self.engine, 0)]
+        } else {
+            thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|worker| {
+                        let shared = &shared;
+                        let engine = self.engine;
+                        scope.spawn(move || worker_loop(shared, engine, worker))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("scheduler worker panicked"))
+                    .collect()
+            })
+        };
+        let wall = started.elapsed();
+        worker_metrics.sort_by_key(|m| m.worker);
+
+        let control = shared.control.into_inner().expect("control lock poisoned");
+        let results: Vec<ScheduledQuery> = control
+            .results
+            .into_iter()
+            .map(|r| r.expect("every submitted query completed"))
+            .collect();
+        let latencies = results.iter().map(|r| r.latency).collect();
+        StreamOutcome {
+            metrics: ThroughputMetrics {
+                pool: ExecMetrics {
+                    workers: worker_metrics,
+                    wall,
+                    planned_fragments: total_tasks,
+                },
+                queries_completed: results.len(),
+                latencies,
+                mpl: self.config.mpl(),
+            },
+            queries: results,
+        }
+    }
+}
+
+impl StarJoinEngine {
+    /// Plans, admits and executes a stream of queries concurrently on one
+    /// shared worker pool — see [`QueryScheduler`].
+    #[must_use]
+    pub fn execute_stream(
+        &self,
+        queries: &[BoundQuery],
+        config: &SchedulerConfig,
+    ) -> StreamOutcome {
+        QueryScheduler::new(self, config.clone()).run(queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::FragmentStore;
+    use allocation::PhysicalAllocation;
+    use mdhf::Fragmentation;
+    use schema::apb1::apb1_scaled_down;
+    use workload::{InterleavedStream, QueryType};
+
+    fn engine() -> StarJoinEngine {
+        let schema = apb1_scaled_down();
+        let fragmentation =
+            Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+        StarJoinEngine::new(FragmentStore::build(&schema, &fragmentation, 2024))
+    }
+
+    fn stream(engine: &StarJoinEngine, count: usize) -> Vec<BoundQuery> {
+        let mut source = InterleavedStream::new(
+            engine.store().schema(),
+            &[
+                QueryType::OneMonthOneGroup,
+                QueryType::OneCode,
+                QueryType::OneGroup,
+                QueryType::OneStore,
+            ],
+            99,
+        );
+        source.take_queries(count)
+    }
+
+    fn assert_bits_match_serial(engine: &StarJoinEngine, queries: &[BoundQuery], mpl: usize) {
+        let outcome = engine.execute_stream(queries, &SchedulerConfig::new(4, mpl));
+        assert_eq!(outcome.queries.len(), queries.len());
+        assert_eq!(outcome.metrics.queries_completed, queries.len());
+        assert_eq!(outcome.metrics.mpl, mpl.max(1));
+        for (query_id, (bound, scheduled)) in queries.iter().zip(&outcome.queries).enumerate() {
+            let serial = engine.execute_serial(bound);
+            assert_eq!(scheduled.query_id, query_id);
+            assert_eq!(scheduled.query_name, serial.query_name);
+            assert_eq!(scheduled.hits, serial.hits, "MPL {mpl} query {query_id}");
+            let serial_bits: Vec<u64> = serial.measure_sums.iter().map(|s| s.to_bits()).collect();
+            let scheduled_bits: Vec<u64> =
+                scheduled.measure_sums.iter().map(|s| s.to_bits()).collect();
+            assert_eq!(
+                scheduled_bits, serial_bits,
+                "MPL {mpl} query {query_id} ({}) not bit-identical",
+                scheduled.query_name
+            );
+        }
+    }
+
+    #[test]
+    fn scheduler_is_bit_identical_to_serial_for_every_mpl() {
+        let engine = engine();
+        let queries = stream(&engine, 10);
+        for mpl in [1usize, 2, 4, 8] {
+            assert_bits_match_serial(&engine, &queries, mpl);
+        }
+    }
+
+    #[test]
+    fn rows_and_tasks_account_for_every_plan() {
+        let engine = engine();
+        let queries = stream(&engine, 8);
+        let expected_rows: u64 = queries
+            .iter()
+            .map(|q| engine.store().planned_rows(&engine.plan(q)))
+            .sum();
+        let expected_tasks: usize = queries.iter().map(|q| engine.plan(q).task_count()).sum();
+        let outcome = engine.execute_stream(&queries, &SchedulerConfig::new(3, 4));
+        assert_eq!(outcome.metrics.pool.total_rows_scanned(), expected_rows);
+        assert_eq!(outcome.metrics.pool.total_fragments(), expected_tasks);
+        assert_eq!(outcome.metrics.pool.planned_fragments, expected_tasks);
+        let per_query_rows: u64 = outcome.queries.iter().map(|q| q.rows_scanned).sum();
+        assert_eq!(per_query_rows, expected_rows);
+        let per_query_tasks: usize = outcome.queries.iter().map(|q| q.planned_fragments).sum();
+        assert_eq!(per_query_tasks, expected_tasks);
+    }
+
+    #[test]
+    fn shared_pool_never_oversubscribes() {
+        let engine = engine();
+        let queries = stream(&engine, 12);
+        // MPL 8 on a 4-worker pool: still exactly 4 workers.
+        let outcome = engine.execute_stream(&queries, &SchedulerConfig::new(4, 8));
+        assert_eq!(outcome.metrics.pool.worker_count(), 4);
+        // A stream with fewer tasks than workers clamps the pool.
+        let one = &queries[0..1];
+        let single_task: Vec<BoundQuery> = one
+            .iter()
+            .filter(|q| engine.plan(q).task_count() == 1)
+            .cloned()
+            .collect();
+        if !single_task.is_empty() {
+            let outcome = engine.execute_stream(&single_task, &SchedulerConfig::new(16, 4));
+            assert_eq!(outcome.metrics.pool.worker_count(), 1);
+        }
+    }
+
+    #[test]
+    fn empty_stream_completes_immediately() {
+        let engine = engine();
+        let outcome = engine.execute_stream(&[], &SchedulerConfig::new(4, 2));
+        assert!(outcome.queries.is_empty());
+        assert_eq!(outcome.metrics.queries_completed, 0);
+        assert_eq!(outcome.metrics.pool.total_fragments(), 0);
+        assert_eq!(outcome.metrics.latency_mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn latencies_and_waits_are_recorded_in_submission_order() {
+        let engine = engine();
+        let queries = stream(&engine, 6);
+        let outcome = engine.execute_stream(&queries, &SchedulerConfig::new(2, 2));
+        assert_eq!(outcome.metrics.latencies.len(), 6);
+        for (query_id, scheduled) in outcome.queries.iter().enumerate() {
+            assert_eq!(scheduled.query_id, query_id);
+            assert!(scheduled.latency > Duration::ZERO);
+            assert_eq!(outcome.metrics.latencies[query_id], scheduled.latency);
+        }
+        // With MPL 2, the 3rd query cannot be admitted before the run start.
+        assert!(outcome.queries[2].admission_wait >= outcome.queries[0].admission_wait);
+        let mean = outcome.metrics.latency_mean();
+        assert!(mean >= outcome.metrics.latency_percentile(0.0));
+        assert!(outcome.metrics.latency_max() >= mean);
+    }
+
+    #[test]
+    fn placement_seeding_changes_nothing_but_order() {
+        let engine = engine();
+        let queries = stream(&engine, 6);
+        let baseline = engine.execute_stream(&queries, &SchedulerConfig::new(4, 4));
+        let placed = engine.execute_stream(
+            &queries,
+            &SchedulerConfig::new(4, 4).with_placement(PhysicalAllocation::round_robin(10)),
+        );
+        for (a, b) in baseline.queries.iter().zip(&placed.queries) {
+            assert_eq!(a.hits, b.hits);
+            let a_bits: Vec<u64> = a.measure_sums.iter().map(|s| s.to_bits()).collect();
+            let b_bits: Vec<u64> = b.measure_sums.iter().map(|s| s.to_bits()).collect();
+            assert_eq!(a_bits, b_bits);
+        }
+    }
+
+    #[test]
+    fn config_constructors() {
+        let config = SchedulerConfig::new(4, 0);
+        assert_eq!(config.mpl(), 1);
+        assert_eq!(config.exec.workers, 4);
+        let from_stream = SchedulerConfig::from_stream(2, QueryStream::MultiUser { streams: 8 });
+        assert_eq!(from_stream.mpl(), 8);
+        assert_eq!(
+            SchedulerConfig::from_stream(2, QueryStream::SingleUser).mpl(),
+            1
+        );
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::store::FragmentStore;
+    use mdhf::Fragmentation;
+    use proptest::prelude::*;
+    use schema::apb1::Apb1Config;
+    use workload::QueryType;
+
+    /// The same deliberately tiny schema as the engine proptests, so each
+    /// case (store build + stream + per-query serial baselines) stays fast
+    /// in debug builds.
+    fn tiny_schema() -> schema::StarSchema {
+        Apb1Config {
+            channels: 3,
+            months: 6,
+            stores: 16,
+            product_codes: 24,
+            density: 0.2,
+            fact_tuple_bytes: 20,
+        }
+        .build()
+    }
+
+    const FRAGMENTATIONS: [&[&str]; 3] = [
+        &["time::month"],
+        &["time::month", "product::group"],
+        &["time::quarter", "product::division"],
+    ];
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        /// For random multi-user streams (random query types and values)
+        /// and MPL ∈ {1, 2, 8}, every query's scheduler result is
+        /// bit-identical to its isolated serial execution, and the total
+        /// rows processed match the sum of the per-query plans.
+        #[test]
+        fn prop_scheduler_matches_isolated_serial_runs(
+            frag_idx in 0usize..FRAGMENTATIONS.len(),
+            type_seeds in proptest::collection::vec(0usize..5, 1..8),
+            raw_values in proptest::collection::vec(0u64..100_000, 16),
+            seed in 1u64..1_000,
+            workers in 1usize..5,
+        ) {
+            let schema = tiny_schema();
+            let fragmentation =
+                Fragmentation::parse(&schema, FRAGMENTATIONS[frag_idx]).unwrap();
+            let store = FragmentStore::build(&schema, &fragmentation, seed);
+            let engine = StarJoinEngine::new(store);
+
+            let mut raw = raw_values.iter().cycle();
+            let queries: Vec<BoundQuery> = type_seeds
+                .iter()
+                .map(|&type_idx| {
+                    let shape = QueryType::standard_mix()[type_idx].to_star_query(&schema);
+                    let values: Vec<u64> = shape
+                        .predicates()
+                        .iter()
+                        .map(|p| raw.next().unwrap() % p.attr.cardinality(&schema))
+                        .collect();
+                    BoundQuery::new(&schema, shape, values)
+                })
+                .collect();
+
+            let serial: Vec<_> = queries.iter().map(|q| engine.execute_serial(q)).collect();
+            let expected_rows: u64 = queries
+                .iter()
+                .map(|q| engine.store().planned_rows(&engine.plan(q)))
+                .sum();
+
+            for mpl in [1usize, 2, 8] {
+                let outcome =
+                    engine.execute_stream(&queries, &SchedulerConfig::new(workers, mpl));
+                prop_assert_eq!(outcome.queries.len(), queries.len());
+                prop_assert_eq!(outcome.metrics.pool.total_rows_scanned(), expected_rows);
+                for (scheduled, baseline) in outcome.queries.iter().zip(&serial) {
+                    prop_assert_eq!(scheduled.hits, baseline.hits);
+                    let scheduled_bits: Vec<u64> =
+                        scheduled.measure_sums.iter().map(|s| s.to_bits()).collect();
+                    let baseline_bits: Vec<u64> =
+                        baseline.measure_sums.iter().map(|s| s.to_bits()).collect();
+                    prop_assert_eq!(scheduled_bits, baseline_bits);
+                }
+            }
+        }
+    }
+}

@@ -275,6 +275,17 @@ impl FragmentStore {
         self.total_rows
     }
 
+    /// Total fact rows a plan's fragments hold — the rows a full execution
+    /// of that plan scans, used to cross-check scheduler accounting against
+    /// the sum of per-query plans.
+    #[must_use]
+    pub fn planned_rows(&self, plan: &crate::plan::QueryPlan) -> u64 {
+        plan.fragments()
+            .iter()
+            .map(|&f| self.fragment(f).len() as u64)
+            .sum()
+    }
+
     /// Number of measures per fact row.
     #[must_use]
     pub fn measure_count(&self) -> usize {

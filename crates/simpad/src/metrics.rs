@@ -83,6 +83,19 @@ impl RunSummary {
         self.mean_response_ms / 1_000.0
     }
 
+    /// Simulated multi-user throughput: completed queries per second of
+    /// simulated time.  In single-user runs this is just the reciprocal of
+    /// the mean response time; in closed multi-user runs it is the quantity
+    /// the paper's SIMPAD experiments rank allocations by, and what the
+    /// measured `exec::scheduler` sweep is cross-checked against.
+    #[must_use]
+    pub fn throughput_qps(&self) -> f64 {
+        if self.simulated_ms <= 0.0 {
+            return 0.0;
+        }
+        self.queries.len() as f64 / (self.simulated_ms / 1_000.0)
+    }
+
     /// Speed-up of this run relative to a baseline run (baseline mean
     /// response time divided by this run's).
     #[must_use]
@@ -125,6 +138,8 @@ mod tests {
         assert_eq!(summary.mean_response_secs(), 2.0);
         assert_eq!(summary.queries.len(), 3);
         assert_eq!(summary.query_name, "1MONTH");
+        // 3 queries over 6 simulated seconds → 0.5 queries/sec.
+        assert!((summary.throughput_qps() - 0.5).abs() < 1e-12);
     }
 
     #[test]

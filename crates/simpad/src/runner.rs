@@ -57,6 +57,15 @@ impl ExperimentSetup {
             stream: QueryStream::SingleUser,
         }
     }
+
+    /// Switches the workload arrival model — e.g.
+    /// [`QueryStream::MultiUser`] for the closed multi-user runs whose
+    /// throughput the measured scheduler sweep is compared against.
+    #[must_use]
+    pub fn with_stream(mut self, stream: QueryStream) -> Self {
+        self.stream = stream;
+        self
+    }
 }
 
 /// Runs one experiment point and returns its summary.
@@ -155,6 +164,35 @@ mod tests {
         assert!(summary.mean_response_secs() < 20.0);
         assert!(summary.disk_utilisation >= 0.0 && summary.disk_utilisation <= 1.0);
         assert!(summary.simulated_ms >= summary.mean_response_ms);
+    }
+
+    #[test]
+    fn multi_user_streams_raise_simulated_throughput() {
+        // The multi-user cross-check hook: 1MONTH1GROUP is a single-fragment
+        // query, so a lone stream leaves most of the 4 nodes idle and a
+        // closed 4-user workload must complete the same queries in less
+        // simulated time — higher queries/sec.
+        let base = setup(
+            20,
+            4,
+            4,
+            QueryType::OneMonthOneGroup,
+            &["time::month", "product::group"],
+            8,
+        );
+        let single = run_experiment(&base);
+        let multi = run_experiment(
+            &base
+                .clone()
+                .with_stream(QueryStream::MultiUser { streams: 4 }),
+        );
+        assert_eq!(single.queries.len(), multi.queries.len());
+        assert!(
+            multi.throughput_qps() > single.throughput_qps(),
+            "multi-user {} qps vs single-user {} qps",
+            multi.throughput_qps(),
+            single.throughput_qps()
+        );
     }
 
     #[test]

@@ -56,14 +56,15 @@ pub mod prelude {
         WahBitmap,
     };
     pub use exec::{
-        ExecConfig, ExecMetrics, FragmentStore, QueryPlan, QueryResult, StarJoinEngine,
+        ExecConfig, ExecMetrics, FragmentStore, QueryPlan, QueryResult, QueryScheduler,
+        ScheduledQuery, SchedulerConfig, StarJoinEngine, StreamOutcome, ThroughputMetrics,
     };
     pub use mdhf::{
         classify, Advisor, AdvisorConfig, CostModel, Fragmentation, IoClass, QueryClass, StarQuery,
     };
     pub use schema::{self, StarSchema};
     pub use simpad::{run_experiment, ExperimentSetup, SimConfig};
-    pub use workload::{BoundQuery, QueryGenerator, QueryType};
+    pub use workload::{BoundQuery, InterleavedStream, QueryGenerator, QueryStream, QueryType};
 }
 
 #[cfg(test)]

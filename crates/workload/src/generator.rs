@@ -117,6 +117,64 @@ impl QueryStream {
             QueryStream::MultiUser { streams } => (*streams).max(1),
         }
     }
+
+    /// The admission-control limit (MPL) this stream implies for a
+    /// concurrent scheduler: a closed workload of `n` users keeps at most
+    /// `n` queries in flight.
+    #[must_use]
+    pub fn max_in_flight(&self) -> usize {
+        self.concurrency()
+    }
+}
+
+/// A deterministic multi-user query stream mixing several query types.
+///
+/// Each type gets its own per-seed [`QueryGenerator`] (so adding a type to
+/// the mix never perturbs the instances of the others) and queries are
+/// interleaved round-robin — the submission order a concurrent scheduler
+/// admits them in.
+#[derive(Debug, Clone)]
+pub struct InterleavedStream {
+    generators: Vec<QueryGenerator>,
+    next: usize,
+}
+
+impl InterleavedStream {
+    /// Creates a stream over `types`, derived deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `types` is empty.
+    #[must_use]
+    pub fn new(schema: &StarSchema, types: &[QueryType], seed: u64) -> Self {
+        assert!(!types.is_empty(), "a stream needs at least one query type");
+        InterleavedStream {
+            generators: types
+                .iter()
+                .enumerate()
+                .map(|(i, t)| QueryGenerator::new(schema, t.clone(), seed ^ ((i as u64) << 32)))
+                .collect(),
+            next: 0,
+        }
+    }
+
+    /// The next query of the stream (round-robin over the mixed types).
+    pub fn next_query(&mut self) -> BoundQuery {
+        let current = self.next;
+        self.next = (self.next + 1) % self.generators.len();
+        self.generators[current].next_instance()
+    }
+
+    /// The next `count` queries of the stream.
+    pub fn take_queries(&mut self, count: usize) -> Vec<BoundQuery> {
+        (0..count).map(|_| self.next_query()).collect()
+    }
+
+    /// Total queries generated so far.
+    #[must_use]
+    pub fn generated(&self) -> u64 {
+        self.generators.iter().map(QueryGenerator::generated).sum()
+    }
 }
 
 #[cfg(test)]
@@ -169,5 +227,42 @@ mod tests {
         assert_eq!(QueryStream::SingleUser.concurrency(), 1);
         assert_eq!(QueryStream::MultiUser { streams: 8 }.concurrency(), 8);
         assert_eq!(QueryStream::MultiUser { streams: 0 }.concurrency(), 1);
+        assert_eq!(QueryStream::SingleUser.max_in_flight(), 1);
+        assert_eq!(QueryStream::MultiUser { streams: 6 }.max_in_flight(), 6);
+    }
+
+    #[test]
+    fn interleaved_stream_cycles_types_deterministically() {
+        let s = apb1_schema();
+        let types = [
+            QueryType::OneMonthOneGroup,
+            QueryType::OneStore,
+            QueryType::OneCode,
+        ];
+        let mut a = InterleavedStream::new(&s, &types, 7);
+        let mut b = InterleavedStream::new(&s, &types, 7);
+        let batch_a = a.take_queries(9);
+        assert_eq!(batch_a, b.take_queries(9));
+        assert_eq!(a.generated(), 9);
+        // Round-robin: query i has the shape of types[i % 3].
+        for (i, q) in batch_a.iter().enumerate() {
+            assert_eq!(q.query().name(), types[i % 3].name());
+        }
+        // A different seed yields different instances.
+        let mut c = InterleavedStream::new(&s, &types, 8);
+        assert_ne!(c.take_queries(9), batch_a);
+        // Dropping a type from the mix leaves the remaining generators'
+        // instance sequences untouched.
+        let mut two = InterleavedStream::new(&s, &types[..2], 7);
+        let pairs = two.take_queries(6);
+        for (i, q) in pairs.iter().enumerate() {
+            assert_eq!(q, &batch_a[(i / 2) * 3 + (i % 2)]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one query type")]
+    fn empty_stream_mix_rejected() {
+        let _ = InterleavedStream::new(&apb1_schema(), &[], 1);
     }
 }

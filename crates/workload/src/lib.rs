@@ -12,12 +12,14 @@
 //!   values, able to compute exactly which fact fragments it touches under a
 //!   given fragmentation,
 //! * [`generator::QueryGenerator`] — reproducible random instantiation and
-//!   single-user / multi-user query streams.
+//!   single-user / multi-user query streams,
+//! * [`generator::InterleavedStream`] — a deterministic multi-type stream in
+//!   admission (submission) order, the input of the concurrent scheduler.
 
 pub mod bound;
 pub mod generator;
 pub mod queries;
 
 pub use bound::BoundQuery;
-pub use generator::{QueryGenerator, QueryStream};
+pub use generator::{InterleavedStream, QueryGenerator, QueryStream};
 pub use queries::QueryType;
