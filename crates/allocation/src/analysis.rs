@@ -83,6 +83,47 @@ pub fn next_prime_at_least(n: u64) -> u64 {
     candidate
 }
 
+/// The per-disk load shares of an allocation for a weighted fragment set:
+/// `weights[f]` is fact fragment `f`'s load (pages, rows, expected scans —
+/// any non-negative measure) and the result sums it per
+/// [`PhysicalAllocation::fact_disk`], normalised to a total of 1.
+///
+/// This is the analytic counterpart of a measured per-disk utilisation
+/// profile: under uniform weights round robin balances perfectly, while a
+/// Zipf-skewed weight vector predicts exactly how much load the disk
+/// holding the hot head must absorb.
+#[must_use]
+pub fn disk_load_shares(allocation: &PhysicalAllocation, weights: &[f64]) -> Vec<f64> {
+    let mut loads = vec![0.0f64; usize::try_from(allocation.disks()).expect("disk count fits")];
+    for (fragment, &weight) in weights.iter().enumerate() {
+        loads[allocation.fact_disk(fragment as u64) as usize] += weight;
+    }
+    let total: f64 = loads.iter().sum();
+    if total > 0.0 {
+        for load in &mut loads {
+            *load /= total;
+        }
+    }
+    loads
+}
+
+/// Load imbalance of a per-disk (or per-worker) load vector: the maximum
+/// load over the mean load.  1.0 is perfect balance; an all-idle vector
+/// reports 1.0 rather than NaN.
+#[must_use]
+pub fn load_imbalance(loads: &[f64]) -> f64 {
+    if loads.is_empty() {
+        return 1.0;
+    }
+    let max = loads.iter().copied().fold(0.0f64, f64::max);
+    let mean = loads.iter().sum::<f64>() / loads.len() as f64;
+    if mean <= f64::EPSILON {
+        1.0
+    } else {
+        max / mean
+    }
+}
+
 /// Summary of how well an allocation supports a set of strided access
 /// patterns (one per query type of interest).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -191,6 +232,42 @@ mod tests {
         assert_eq!(next_prime_at_least(2), 2);
         assert_eq!(next_prime_at_least(8), 11);
         assert_eq!(next_prime_at_least(20), 23);
+    }
+
+    #[test]
+    fn uniform_weights_balance_round_robin_perfectly() {
+        let a = PhysicalAllocation::round_robin(5);
+        let shares = disk_load_shares(&a, &[1.0; 100]);
+        assert_eq!(shares.len(), 5);
+        for &s in &shares {
+            assert!((s - 0.2).abs() < 1e-12, "{shares:?}");
+        }
+        assert!((load_imbalance(&shares) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_weights_predict_the_hot_disk() {
+        // Fragment 0 carries half the load on 4 disks: disk 0's share is
+        // 0.5 + 0.5/4 of the remainder spread and imbalance exceeds 2x.
+        let mut weights = vec![1.0f64; 16];
+        weights[0] = 15.0;
+        let a = PhysicalAllocation::round_robin(4);
+        let shares = disk_load_shares(&a, &weights);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((shares[0] - 18.0 / 30.0).abs() < 1e-12, "{shares:?}");
+        assert!((load_imbalance(&shares) - (18.0 / 30.0) / 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_imbalance_degenerate_inputs() {
+        assert_eq!(load_imbalance(&[]), 1.0);
+        assert_eq!(load_imbalance(&[0.0, 0.0]), 1.0);
+        assert!((load_imbalance(&[2.0, 1.0, 1.0]) - 1.5).abs() < 1e-12);
+        // Weight vectors shorter than a full round leave trailing disks idle.
+        let a = PhysicalAllocation::round_robin(4);
+        let shares = disk_load_shares(&a, &[1.0, 1.0]);
+        assert_eq!(shares, vec![0.5, 0.5, 0.0, 0.0]);
+        assert!((load_imbalance(&shares) - 2.0).abs() < 1e-12);
     }
 
     #[test]

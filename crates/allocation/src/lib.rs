@@ -12,13 +12,18 @@
 //!   and a gap-modified scheme that avoids gcd clustering.
 //! * [`analysis`] — the §4.6 declustering analysis: how many distinct disks a
 //!   query's fragments land on, the gcd pitfall (480-stride access on 100
-//!   disks uses only 5 of them), and the prime-declustering recommendation.
+//!   disks uses only 5 of them), the prime-declustering recommendation, and
+//!   analytic per-disk load shares for weighted (e.g. Zipf-skewed) fragment
+//!   sets.
 //! * [`capacity`] — per-disk storage accounting and balance metrics.
 
 pub mod analysis;
 pub mod capacity;
 pub mod layout;
 
-pub use analysis::{effective_parallelism, stride_parallelism, DeclusteringAnalysis};
+pub use analysis::{
+    disk_load_shares, effective_parallelism, load_imbalance, stride_parallelism,
+    DeclusteringAnalysis,
+};
 pub use capacity::{CapacityReport, DiskUsage};
 pub use layout::{BitmapPlacement, PhysicalAllocation};

@@ -1,4 +1,5 @@
-//! Analytic I/O cost model (§4.5, re-derivation of the companion report [33]).
+//! Analytic I/O cost model (§4.5, re-derivation of the companion report
+//! \[33\]).
 //!
 //! The model estimates, for a given fragmentation and query type, how many
 //! fact-table and bitmap pages must be read and how many I/O operations

@@ -10,15 +10,15 @@
 //!   rows (§4.1),
 //! * [`query::StarQuery`] — the query model: exact-match selections on
 //!   hierarchy attributes with aggregation over the fact table (§3),
-//! * [`classify`] — the query types **Q1–Q4** and I/O classes
+//! * [`classify()`] — the query types **Q1–Q4** and I/O classes
 //!   **IOC1 / IOC1-opt / IOC2 / IOC2-nosupp**, the set of fragments a query
 //!   must process, and the bitmaps it still needs (§4.2, §4.5),
 //! * [`thresholds`] — the fragmentation thresholds of §4.4, most importantly
 //!   `n_max = N / (8 · PgSize · PrefetchGran)`,
 //! * [`enumerate`] — enumeration of all candidate fragmentations of a schema
 //!   and the Table 2 census under size constraints,
-//! * [`cost`] — the analytic I/O cost model (re-derivation of the companion
-//!   report [33]; validated against Table 3),
+//! * [`cost`] — the analytic I/O cost model (re-derivation of the paper's
+//!   companion report; validated against Table 3),
 //! * [`advisor`] — the §4.7 guidelines packaged as a fragmentation advisor
 //!   that ranks candidate fragmentations for a weighted query mix.
 

@@ -7,15 +7,22 @@
 //! evaluates its fragments' bitmap predicates — staying in the *compressed
 //! domain* ([`bitmap::WahBitmap::and_many`]) when every selection bitmap is
 //! WAH-compressed, falling back to an allocation-free plain intersection
-//! ([`Bitmap::and_assign_many`]) otherwise — aggregates partial sums, and
-//! the engine merges the per-fragment partials *in plan order*, so the
-//! floating-point result is **bit-identical for every worker count and
-//! every representation policy**.
+//! ([`bitmap::Bitmap::and_assign_many`]) otherwise — aggregates partial
+//! sums, and the engine merges the per-fragment partials *in plan order*,
+//! so the floating-point result is **bit-identical for every worker count
+//! and every representation policy**.
 //!
 //! When an [`ExecConfig::placement`] is set, each worker's initial queue
 //! chunk follows the physical allocation's disk-affinity order
 //! ([`PhysicalAllocation::subquery_disks`]) instead of naive fragment
 //! order, so the pool starts on placement-aligned partitions.
+//!
+//! When an [`ExecConfig::io`] is set, every fragment scan is charged
+//! against the simulated disk subsystem ([`crate::io::SimulatedIo`]) —
+//! deterministically, in plan order — and each task's simulated I/O time
+//! becomes its steal weight in the queue (and, with a throttle, a real
+//! wall-clock delay).  The charges never touch row evaluation, so results
+//! stay bit-identical with the I/O layer on or off.
 
 use std::num::NonZeroUsize;
 use std::thread;
@@ -25,13 +32,14 @@ use allocation::PhysicalAllocation;
 use bitmap::BitmapRepr;
 use workload::BoundQuery;
 
+use crate::io::{throttle_for, IoConfig, SimulatedIo, TaskIo};
 use crate::metrics::{ExecMetrics, WorkerMetrics};
 use crate::plan::{PredicateBinding, QueryPlan};
 use crate::queue::{Claim, FragmentQueue};
 use crate::store::{ColumnarFragment, FragmentStore};
 
 /// Worker-pool configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExecConfig {
     /// Number of worker threads; `0` resolves to the machine's available
     /// parallelism.
@@ -40,6 +48,12 @@ pub struct ExecConfig {
     /// disk-affinity order rather than naive fragment order.  Never affects
     /// results, only the initial work partition.
     pub placement: Option<PhysicalAllocation>,
+    /// Optional simulated disk subsystem: when set, fragment scans charge
+    /// simulated I/O, tasks are steal-weighted by it, and
+    /// [`ExecMetrics::io`] reports per-disk and cache statistics.  Never
+    /// affects results, only cost accounting (and wall time when a
+    /// throttle is configured).
+    pub io: Option<IoConfig>,
 }
 
 impl ExecConfig {
@@ -49,6 +63,7 @@ impl ExecConfig {
         ExecConfig {
             workers,
             placement: None,
+            io: None,
         }
     }
 
@@ -62,6 +77,16 @@ impl ExecConfig {
     #[must_use]
     pub fn with_placement(mut self, placement: PhysicalAllocation) -> Self {
         self.placement = Some(placement);
+        self
+    }
+
+    /// Charges fragment scans against a simulated disk subsystem built
+    /// from `io` (one fresh subsystem per executed plan; use
+    /// [`StarJoinEngine::execute_plan_with_io`] to share cache state
+    /// across queries).
+    #[must_use]
+    pub fn with_io(mut self, io: IoConfig) -> Self {
+        self.io = Some(io);
         self
     }
 
@@ -191,21 +216,72 @@ impl StarJoinEngine {
     /// Q1 query on one fragment must not pay for spawning idle threads.
     /// The 1-worker pool runs inline on the calling thread (no spawn
     /// overhead in the baseline); larger pools use scoped OS threads over a
-    /// shared work-stealing queue.
+    /// shared work-stealing queue.  With [`ExecConfig::io`] set, the plan
+    /// is charged against a fresh simulated disk subsystem first.
     #[must_use]
     pub fn execute_plan(&self, plan: &QueryPlan, config: &ExecConfig) -> QueryResult {
+        match &config.io {
+            Some(io_config) => {
+                let io = SimulatedIo::new(*io_config, self.store.schema());
+                self.execute_plan_with_io(plan, config, &io)
+            }
+            None => self.run_pool(plan, config, None),
+        }
+    }
+
+    /// Executes a plan charging its fragment scans against an *existing*
+    /// simulated disk subsystem, so cache and arm state persist across
+    /// queries (the repeated-scan / warm-cache experiments).  The returned
+    /// [`ExecMetrics::io`] snapshot is cumulative over `io`'s lifetime.
+    #[must_use]
+    pub fn execute_plan_with_io(
+        &self,
+        plan: &QueryPlan,
+        config: &ExecConfig,
+        io: &SimulatedIo,
+    ) -> QueryResult {
+        let charges = io.charge_plan(plan, &self.store);
+        self.run_pool(plan, config, Some((io, charges)))
+    }
+
+    /// The shared pool loop behind both execution entry points.
+    fn run_pool(
+        &self,
+        plan: &QueryPlan,
+        config: &ExecConfig,
+        io: Option<(&SimulatedIo, Vec<TaskIo>)>,
+    ) -> QueryResult {
         let workers = config.pool_size(plan.fragments().len());
         let bitmap_predicates = plan.bitmap_predicates();
+        let (io_sim, charges) = match io {
+            Some((sim, charges)) => (Some(sim), Some(charges)),
+            None => (None, None),
+        };
         let start = Instant::now();
-        let queue = match &config.placement {
-            Some(placement) => FragmentQueue::with_seed_order(
-                placement_seed_order(plan, &self.store, placement),
-                workers,
-            ),
-            None => FragmentQueue::new(plan.fragments().len(), workers),
+        let seed_order = match &config.placement {
+            Some(placement) => placement_seed_order(plan, &self.store, placement),
+            None => (0..plan.fragments().len()).collect(),
+        };
+        let queue = match (&charges, io_sim.map(|s| s.config().steal_by_io)) {
+            (Some(charges), Some(true)) => {
+                let costs: Vec<u64> = charges.iter().map(TaskIo::cost_units).collect();
+                FragmentQueue::with_seed_order_and_costs(seed_order, &costs, workers)
+            }
+            _ => FragmentQueue::with_seed_order(seed_order, workers),
+        };
+        let task_io = TaskIoTable {
+            charges: charges.as_deref(),
+            wall_ns_per_sim_ms: io_sim.map_or(0, |s| s.config().wall_ns_per_sim_ms),
         };
         let outputs: Vec<(Vec<FragmentPartial>, WorkerMetrics)> = if workers == 1 {
-            vec![run_worker(&self.store, plan, &bitmap_predicates, &queue, 0)]
+            vec![run_worker(
+                &self.store,
+                plan,
+                &bitmap_predicates,
+                &queue,
+                &task_io,
+                0,
+            )]
         } else {
             thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
@@ -213,7 +289,8 @@ impl StarJoinEngine {
                         let store = &self.store;
                         let queue = &queue;
                         let preds = &bitmap_predicates;
-                        scope.spawn(move || run_worker(store, plan, preds, queue, worker))
+                        let task_io = &task_io;
+                        scope.spawn(move || run_worker(store, plan, preds, queue, task_io, worker))
                     })
                     .collect();
                 handles
@@ -243,7 +320,30 @@ impl StarJoinEngine {
                 workers: worker_metrics,
                 wall,
                 planned_fragments: plan.fragments().len(),
+                io: io_sim.map(SimulatedIo::metrics),
             },
+        }
+    }
+}
+
+/// The per-task simulated I/O charges a pool run executes under: `None`
+/// charges when the I/O layer is off.
+struct TaskIoTable<'a> {
+    charges: Option<&'a [TaskIo]>,
+    wall_ns_per_sim_ms: u64,
+}
+
+impl TaskIoTable<'_> {
+    /// "Performs" task `task`'s simulated I/O: spins for the configured
+    /// wall fraction and returns the simulated ms for worker accounting.
+    fn perform(&self, task: usize) -> f64 {
+        match self.charges {
+            Some(charges) => {
+                let sim_ms = charges[task].sim_ms;
+                throttle_for(sim_ms, self.wall_ns_per_sim_ms);
+                sim_ms
+            }
+            None => 0.0,
         }
     }
 }
@@ -269,6 +369,7 @@ fn run_worker(
     plan: &QueryPlan,
     bitmap_predicates: &[PredicateBinding],
     queue: &FragmentQueue,
+    task_io: &TaskIoTable<'_>,
     worker: usize,
 ) -> (Vec<FragmentPartial>, WorkerMetrics) {
     let started = Instant::now();
@@ -282,6 +383,7 @@ fn run_worker(
         if matches!(claim, Claim::Stolen(_)) {
             metrics.fragments_stolen += 1;
         }
+        metrics.sim_io_ms += task_io.perform(task);
         let fragment = store.fragment(plan.fragments()[task]);
         let (partial, compressed) =
             process_fragment(fragment, bitmap_predicates, store.measure_count(), task);
@@ -570,6 +672,65 @@ mod tests {
     }
 
     #[test]
+    fn io_layer_changes_metrics_but_never_results() {
+        let (schema, engine) = engine();
+        let bound = BoundQuery::new(&schema, QueryType::OneStore.to_star_query(&schema), vec![7]);
+        let baseline = engine.execute(&bound, &ExecConfig::with_workers(4));
+        assert!(baseline.metrics.io.is_none());
+
+        let io = crate::io::IoConfig::with_disks(10).cache(256);
+        let with_io = engine.execute(&bound, &ExecConfig::with_workers(4).with_io(io));
+        assert_eq!(with_io.hits, baseline.hits);
+        let a: Vec<u64> = baseline.measure_sums.iter().map(|s| s.to_bits()).collect();
+        let b: Vec<u64> = with_io.measure_sums.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(a, b);
+
+        let io_metrics = with_io.metrics.io.as_ref().expect("I/O metrics populated");
+        assert_eq!(io_metrics.disk_count(), 10);
+        assert!(io_metrics.total_pages_read() > 0);
+        assert!(io_metrics.elapsed_ms > 0.0);
+        assert!(with_io.metrics.disk_imbalance() >= 1.0);
+        // Every worker's simulated I/O sums to the charged total; 1STORE
+        // needs bitmaps, so bitmap pages were charged too.
+        let charged: f64 = io_metrics.per_disk.iter().map(|d| d.busy_ms).sum();
+        assert!((with_io.metrics.total_sim_io_ms() - charged).abs() < 1e-6);
+        let scans: u64 = io_metrics.per_disk.iter().map(|d| d.scans).sum();
+        assert!(scans as usize > with_io.metrics.planned_fragments);
+    }
+
+    #[test]
+    fn io_charging_is_deterministic_for_identical_configs() {
+        let (schema, engine) = engine();
+        let bound = BoundQuery::new(&schema, QueryType::OneCode.to_star_query(&schema), vec![65]);
+        let config =
+            ExecConfig::with_workers(3).with_io(crate::io::IoConfig::with_disks(7).cache(128));
+        let a = engine.execute(&bound, &config);
+        let b = engine.execute(&bound, &config);
+        assert_eq!(a.metrics.io, b.metrics.io);
+    }
+
+    #[test]
+    fn shared_io_subsystem_keeps_cache_state_across_queries() {
+        let (schema, engine) = engine();
+        let bound = BoundQuery::new(&schema, QueryType::OneMonth.to_star_query(&schema), vec![3]);
+        let plan = engine.plan(&bound);
+        let config = ExecConfig::with_workers(2);
+        let io = crate::io::SimulatedIo::new(
+            crate::io::IoConfig::with_disks(4).cache(100_000),
+            engine.store().schema(),
+        );
+        let cold = engine.execute_plan_with_io(&plan, &config, &io);
+        let warm = engine.execute_plan_with_io(&plan, &config, &io);
+        assert_eq!(warm.hits, cold.hits);
+        let cold_io = cold.metrics.io.unwrap();
+        let warm_io = warm.metrics.io.unwrap();
+        // The second pass found every page in the shared cache: cumulative
+        // pages read did not grow and the hit rate jumped.
+        assert_eq!(warm_io.total_pages_read(), cold_io.total_pages_read());
+        assert!(warm_io.cache_hit_rate() > cold_io.cache_hit_rate());
+    }
+
+    #[test]
     fn empty_plan_yields_zero_result() {
         let (schema, engine) = engine();
         // A store fragmented on month only, queried for a month with no rows?
@@ -679,6 +840,59 @@ mod prop_tests {
                 prop_assert_eq!(
                     parallel.metrics.total_fragments(),
                     serial.metrics.total_fragments()
+                );
+            }
+        }
+
+        /// With the simulated I/O layer enabled, serial and parallel
+        /// results stay bit-identical on *selectivity-skewed* stores for
+        /// every skew factor θ ∈ {0, 0.5, 1} and disk count ∈ {1, 4, 8} —
+        /// the I/O charges and skew-aware steal weights must never leak
+        /// into row evaluation.
+        #[test]
+        fn prop_io_layer_preserves_bits_under_skew(
+            theta_idx in 0usize..3,
+            disks_idx in 0usize..3,
+            type_idx in 0usize..5,
+            raw_values in proptest::collection::vec(0u64..100_000, 2),
+            seed in 1u64..1_000,
+            cache_pages in 0usize..512,
+        ) {
+            let theta = [0.0f64, 0.5, 1.0][theta_idx];
+            let disks = [1u64, 4, 8][disks_idx];
+            let schema = tiny_schema();
+            let fragmentation =
+                Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+            let store =
+                FragmentStore::build_skewed(&schema, &fragmentation, seed, theta, 4_000);
+            let engine = StarJoinEngine::new(store);
+
+            let query_type = QueryType::standard_mix()[type_idx].clone();
+            let shape = query_type.to_star_query(&schema);
+            let values: Vec<u64> = shape
+                .predicates()
+                .iter()
+                .zip(raw_values.iter().chain(std::iter::repeat(&0)))
+                .map(|(p, &raw)| raw % p.attr.cardinality(&schema))
+                .collect();
+            let bound = BoundQuery::new(&schema, shape, values);
+
+            let io = crate::io::IoConfig::with_disks(disks).cache(cache_pages);
+            let serial = engine.execute(&bound, &ExecConfig::with_workers(1).with_io(io));
+            for workers in [2usize, 8] {
+                let parallel =
+                    engine.execute(&bound, &ExecConfig::with_workers(workers).with_io(io));
+                prop_assert_eq!(parallel.hits, serial.hits);
+                let serial_bits: Vec<u64> =
+                    serial.measure_sums.iter().map(|s| s.to_bits()).collect();
+                let parallel_bits: Vec<u64> =
+                    parallel.measure_sums.iter().map(|s| s.to_bits()).collect();
+                prop_assert_eq!(parallel_bits, serial_bits);
+                // The deterministic replay also makes the I/O metrics
+                // identical across worker counts.
+                prop_assert_eq!(
+                    parallel.metrics.io.as_ref(),
+                    serial.metrics.io.as_ref()
                 );
             }
         }

@@ -6,7 +6,8 @@
 //! 1. **analytically** — the [`mdhf`] cost model,
 //! 2. **by simulation** — the `simpad` Shared Disk simulator,
 //! 3. **physically** — *this crate*: real rows, real bitmaps, real threads,
-//!    measured wall-clock speedup.
+//!    measured wall-clock speedup, and a deterministic simulated disk
+//!    subsystem underneath the scan path ([`io`]).
 //!
 //! The pipeline mirrors §4.3 of the paper:
 //!
@@ -26,6 +27,13 @@
 //!   merge — parallel results are bit-identical to serial ones under every
 //!   representation policy,
 //! * [`ExecMetrics`] reports per-worker accounting and wall-clock speedup,
+//! * [`SimulatedIo`] (optional, [`ExecConfig::with_io`]) charges every
+//!   fragment scan against per-disk FIFO service queues (track-based seek +
+//!   transfer costs) behind a shared LRU page cache, on a deterministic
+//!   [`DiskClock`] — fragments finally *cost* something to read, steal
+//!   victims are weighted by remaining simulated I/O (the skew-resilience
+//!   path), and [`IoMetrics`] reports per-disk utilisation, queue depth and
+//!   cache hit rates,
 //! * [`QueryScheduler`] lifts the engine from one query at a time to the
 //!   paper's **multi-user** regime: a stream of bound queries is admitted
 //!   under an MPL limit onto a *single shared* work-stealing pool, tasks
@@ -59,6 +67,7 @@
 //! ```
 
 pub mod engine;
+pub mod io;
 pub mod metrics;
 pub mod plan;
 pub mod queue;
@@ -66,6 +75,7 @@ pub mod scheduler;
 pub mod store;
 
 pub use engine::{ExecConfig, QueryResult, StarJoinEngine};
+pub use io::{DiskClock, DiskIoStats, IoConfig, IoMetrics, SimulatedIo, TaskIo};
 pub use metrics::{ExecMetrics, ThroughputMetrics, WorkerMetrics};
 pub use plan::{PredicateBinding, QueryPlan};
 pub use queue::{Claim, FragmentQueue};

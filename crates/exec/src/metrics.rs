@@ -1,7 +1,10 @@
-//! Execution metrics: per-worker accounting, wall-clock speedup, and
-//! multi-user throughput statistics.
+//! Execution metrics: per-worker accounting, wall-clock speedup,
+//! multi-user throughput statistics, and — when the simulated disk layer is
+//! active — per-disk utilisation, queue-depth and cache statistics.
 
 use std::time::Duration;
+
+use crate::io::IoMetrics;
 
 /// What one worker did during a query execution.
 #[derive(Debug, Clone, Default)]
@@ -20,6 +23,9 @@ pub struct WorkerMetrics {
     pub rows_scanned: u64,
     /// Fact rows that satisfied all predicates.
     pub rows_matched: u64,
+    /// Simulated I/O time of the tasks this worker executed, in ms (0 when
+    /// the I/O layer is off).
+    pub sim_io_ms: f64,
     /// Time the worker spent between its first and last claim.
     pub busy: Duration,
 }
@@ -33,6 +39,12 @@ pub struct ExecMetrics {
     pub wall: Duration,
     /// Number of fragments the plan selected.
     pub planned_fragments: usize,
+    /// Simulated disk subsystem snapshot — per-disk utilisation, queue
+    /// depth and cache hit/miss statistics — when an
+    /// [`crate::io::IoConfig`] was active; `None` otherwise.  For runs
+    /// sharing one [`crate::io::SimulatedIo`] across queries the snapshot
+    /// is cumulative up to this query's completion.
+    pub io: Option<IoMetrics>,
 }
 
 impl ExecMetrics {
@@ -65,6 +77,27 @@ impl ExecMetrics {
     #[must_use]
     pub fn total_rows_scanned(&self) -> u64 {
         self.workers.iter().map(|w| w.rows_scanned).sum()
+    }
+
+    /// Simulated I/O time charged across all workers, in ms (0 when the
+    /// I/O layer is off).
+    #[must_use]
+    pub fn total_sim_io_ms(&self) -> f64 {
+        self.workers.iter().map(|w| w.sim_io_ms).sum()
+    }
+
+    /// Measured per-disk load imbalance of the simulated subsystem
+    /// ([`IoMetrics::disk_imbalance`]); 1.0 when the I/O layer is off.
+    #[must_use]
+    pub fn disk_imbalance(&self) -> f64 {
+        self.io.as_ref().map_or(1.0, IoMetrics::disk_imbalance)
+    }
+
+    /// Hit rate of the simulated shared page cache; 0 when the I/O layer
+    /// is off.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.io.as_ref().map_or(0.0, IoMetrics::cache_hit_rate)
     }
 
     /// Wall-clock speedup of this run relative to `baseline` (usually the
@@ -207,11 +240,13 @@ mod tests {
                     fragments_compressed: 1,
                     rows_scanned: 100,
                     rows_matched: 10,
+                    sim_io_ms: 1.5,
                     busy: Duration::from_millis(ms),
                 })
                 .collect(),
             wall: Duration::from_millis(*busy_ms.iter().max().unwrap_or(&1)),
             planned_fragments: 2 * busy_ms.len(),
+            io: None,
         }
     }
 
@@ -224,6 +259,10 @@ mod tests {
         assert_eq!(m.total_compressed(), 4);
         assert_eq!(m.total_rows_scanned(), 400);
         assert_eq!(m.planned_fragments, m.total_fragments());
+        assert!((m.total_sim_io_ms() - 6.0).abs() < 1e-12);
+        // Without a simulated I/O layer the disk metrics are neutral.
+        assert_eq!(m.disk_imbalance(), 1.0);
+        assert_eq!(m.cache_hit_rate(), 0.0);
     }
 
     #[test]

@@ -13,8 +13,8 @@
 //!    whole fragments without touching an index (the IOC1 fast path).
 //!
 //! The per-predicate decision is taken straight from
-//! [`mdhf::classify`]'s `bitmap_requirements`, keeping the physical engine
-//! and the analytic cost model on one shared rulebook.
+//! [`mdhf::classify()`]'s `bitmap_requirements`, keeping the physical
+//! engine and the analytic cost model on one shared rulebook.
 
 use bitmap::IndexCatalog;
 use mdhf::{classify, Classification, Fragmentation};

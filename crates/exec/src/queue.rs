@@ -1,26 +1,40 @@
-//! A shared fragment queue with work stealing.
+//! A shared fragment queue with cost-weighted work stealing.
 //!
 //! The paper's execution model assigns fragment subqueries to processing
 //! elements *dynamically* to balance load (fragments differ in size and the
 //! PEs in speed).  This queue mirrors that: each worker owns a deque seeded
 //! with a contiguous chunk of the plan's fragment list (preserving the
 //! allocation order's locality), pops work from its own front, and — once
-//! empty — steals from the back of the most loaded other worker.
+//! empty — steals from the back of another worker.
+//!
+//! Every task carries a **cost weight**.  With uniform weights (the
+//! default) a steal targets the victim with the most queued tasks, exactly
+//! the classic deque-length policy.  When the simulated I/O layer is active
+//! the weights are each task's remaining simulated I/O, so under a skewed
+//! workload a thief raids the worker that still owns the most *work*, not
+//! merely the most *tasks* — the skew-resilience path of the stealing pool.
 
 use std::collections::VecDeque;
 use std::sync::Mutex;
+
+/// One worker's deque plus the total cost of its queued tasks.
+#[derive(Debug)]
+struct CostedDeque<T> {
+    tasks: VecDeque<(T, u64)>,
+    remaining_cost: u64,
+}
 
 /// The lock-per-worker deque set underneath every work-stealing queue in
 /// this crate: [`FragmentQueue`] (one query, tasks fixed up front) and the
 /// multi-query [`crate::scheduler`] (tasks arrive as queries are admitted).
 ///
 /// Each worker owns one deque; owners pop from the front, thieves steal
-/// from the back of the most loaded victim.  `T` is whatever the caller
-/// uses as a task — a bare fragment index for the single-query engine, a
-/// query-tagged task for the scheduler.
+/// from the back of the victim with the highest remaining cost.  `T` is
+/// whatever the caller uses as a task — a bare fragment index for the
+/// single-query engine, a query-tagged task for the scheduler.
 #[derive(Debug)]
 pub(crate) struct StealDeques<T> {
-    deques: Vec<Mutex<VecDeque<T>>>,
+    deques: Vec<Mutex<CostedDeque<T>>>,
 }
 
 impl<T> StealDeques<T> {
@@ -32,7 +46,14 @@ impl<T> StealDeques<T> {
     pub fn new(workers: usize) -> Self {
         assert!(workers > 0, "a queue needs at least one worker");
         StealDeques {
-            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            deques: (0..workers)
+                .map(|_| {
+                    Mutex::new(CostedDeque {
+                        tasks: VecDeque::new(),
+                        remaining_cost: 0,
+                    })
+                })
+                .collect(),
         }
     }
 
@@ -41,30 +62,39 @@ impl<T> StealDeques<T> {
         self.deques.len()
     }
 
-    /// Appends `task` to the back of `worker`'s own deque.
-    pub fn push(&self, worker: usize, task: T) {
-        self.lock(worker).push_back(task);
+    /// Appends `task` with steal weight `cost` to the back of `worker`'s
+    /// own deque.
+    pub fn push(&self, worker: usize, task: T, cost: u64) {
+        let mut deque = self.lock(worker);
+        deque.remaining_cost = deque.remaining_cost.saturating_add(cost);
+        deque.tasks.push_back((task, cost));
     }
 
     /// Pops the next task from `worker`'s own deque front.
     pub fn pop_own(&self, worker: usize) -> Option<T> {
         assert!(worker < self.deques.len(), "worker index out of range");
-        self.lock(worker).pop_front()
+        let mut deque = self.lock(worker);
+        let (task, cost) = deque.tasks.pop_front()?;
+        deque.remaining_cost -= cost;
+        Some(task)
     }
 
-    /// Steals a task from the back of the most loaded other deque.
+    /// Steals a task from the back of the other deque with the highest
+    /// remaining cost.
     ///
     /// Loads can change between snapshot and steal, so victims are re-checked
-    /// under their lock in descending-load order until one yields a task.
+    /// under their lock in descending-cost order until one yields a task.
     pub fn steal(&self, worker: usize) -> Option<T> {
-        let mut victims: Vec<(usize, usize)> = (0..self.deques.len())
+        let mut victims: Vec<(u64, usize)> = (0..self.deques.len())
             .filter(|&v| v != worker)
-            .map(|v| (self.lock(v).len(), v))
-            .filter(|&(len, _)| len > 0)
+            .map(|v| (self.lock(v).remaining_cost, v))
+            .filter(|&(cost, _)| cost > 0)
             .collect();
         victims.sort_unstable_by(|a, b| b.cmp(a));
         for (_, victim) in victims {
-            if let Some(task) = self.lock(victim).pop_back() {
+            let mut deque = self.lock(victim);
+            if let Some((task, cost)) = deque.tasks.pop_back() {
+                deque.remaining_cost -= cost;
                 return Some(task);
             }
         }
@@ -73,10 +103,12 @@ impl<T> StealDeques<T> {
 
     /// Total number of unclaimed tasks across all deques.
     pub fn total_len(&self) -> usize {
-        (0..self.deques.len()).map(|w| self.lock(w).len()).sum()
+        (0..self.deques.len())
+            .map(|w| self.lock(w).tasks.len())
+            .sum()
     }
 
-    fn lock(&self, worker: usize) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+    fn lock(&self, worker: usize) -> std::sync::MutexGuard<'_, CostedDeque<T>> {
         self.deques[worker].lock().expect("queue lock poisoned")
     }
 }
@@ -122,7 +154,7 @@ impl FragmentQueue {
     /// `order` — e.g. a disk-affinity permutation of the task indices, so
     /// each worker's initial chunk touches a distinct slice of the physical
     /// allocation and work stealing starts from a placement-aligned
-    /// partition.
+    /// partition.  All tasks weigh 1, so steals follow deque length.
     ///
     /// # Panics
     ///
@@ -131,7 +163,23 @@ impl FragmentQueue {
     /// count twice in the merge).
     #[must_use]
     pub fn with_seed_order(order: Vec<usize>, workers: usize) -> Self {
+        let costs = vec![1u64; order.len()];
+        Self::with_seed_order_and_costs(order, &costs, workers)
+    }
+
+    /// [`FragmentQueue::with_seed_order`] with an explicit steal weight per
+    /// task (`costs` is indexed by *task id*, not seed position) — e.g. each
+    /// task's remaining simulated I/O, making steal-victim selection
+    /// skew-aware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero, `costs` is not as long as `order`, or
+    /// `order` is not a permutation of `0..order.len()`.
+    #[must_use]
+    pub fn with_seed_order_and_costs(order: Vec<usize>, costs: &[u64], workers: usize) -> Self {
         let tasks = order.len();
+        assert_eq!(costs.len(), tasks, "one cost per task");
         let mut seen = vec![false; tasks];
         for &task in &order {
             assert!(
@@ -144,7 +192,7 @@ impl FragmentQueue {
             // Balanced contiguous chunks: worker w owns the positions with
             // position * workers / tasks == w.
             let owner = position * workers / tasks;
-            deques.push(owner, task);
+            deques.push(owner, task, costs[task]);
         }
         FragmentQueue { deques }
     }
@@ -156,8 +204,8 @@ impl FragmentQueue {
     }
 
     /// Claims the next task for `worker`: first from its own deque's front,
-    /// otherwise stolen from the back of the most loaded other deque.
-    /// Returns `None` only when every deque is empty.
+    /// otherwise stolen from the back of the other deque with the most
+    /// remaining cost.  Returns `None` only when every deque is empty.
     ///
     /// # Panics
     ///
@@ -217,11 +265,28 @@ mod tests {
         let queue = FragmentQueue::new(9, 3);
         // Drain worker 1's own chunk so its first claim afterwards must steal.
         while let Some(Claim::Own(_)) = queue.claim(1) {}
-        // Worker 0 and 2 both still hold 3 tasks; a steal takes from a back.
+        // Worker 0 and 2 both still hold 3 unit-cost tasks; a steal takes
+        // from a back.
         match queue.claim(1) {
             Some(Claim::Stolen(t)) => assert!(t == 2 || t == 8, "stole {t}"),
             other => panic!("expected a steal, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn steals_follow_remaining_cost_not_task_count() {
+        // Worker 0 owns two tasks of cost 1; worker 1 owns one task of cost
+        // 100.  A cost-aware thief must raid worker 1 despite its shorter
+        // deque.
+        let deques: StealDeques<usize> = StealDeques::new(3);
+        deques.push(0, 10, 1);
+        deques.push(0, 11, 1);
+        deques.push(1, 20, 100);
+        assert_eq!(deques.steal(2), Some(20));
+        // With the expensive task gone, the thief falls back to the longer
+        // deque.
+        assert_eq!(deques.steal(2), Some(11));
+        assert_eq!(deques.total_len(), 1);
     }
 
     #[test]
@@ -276,6 +341,12 @@ mod tests {
     #[should_panic(expected = "permutation")]
     fn duplicate_seed_order_rejected() {
         let _ = FragmentQueue::with_seed_order(vec![0, 0, 1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one cost per task")]
+    fn mismatched_costs_rejected() {
+        let _ = FragmentQueue::with_seed_order_and_costs(vec![0, 1], &[1], 2);
     }
 
     #[test]

@@ -14,21 +14,28 @@
 //! * every task is tagged with its query's in-flight slot and its plan
 //!   position, and carries its disk affinity: when a placement is
 //!   configured, each admitted query's tasks are dealt to the workers in
-//!   [`allocation::PhysicalAllocation::subquery_disks`] order
-//!   ([`crate::engine::placement_seed_order`]), so a worker's chunk maps to
-//!   a contiguous disk stripe,
+//!   [`allocation::PhysicalAllocation::subquery_disks`] order (the
+//!   engine's placement seed order), so a worker's chunk maps to a
+//!   contiguous disk stripe,
 //! * **one** work-stealing pool of [`ExecConfig::pool_size`] workers serves
 //!   *all* in-flight queries — tasks from different queries interleave in
 //!   the shared deques instead of each query spawning its own pool, so
 //!   MPL > 1 never over-subscribes the machine,
+//! * with [`ExecConfig::io`] set, **one** simulated disk subsystem
+//!   ([`crate::io::SimulatedIo`]) serves the whole stream: each query's
+//!   scans are charged at admission, in admission order — deterministic
+//!   regardless of thread interleave — so the shared page cache persists
+//!   across queries (repeated scans of hot fragments hit it) and tasks are
+//!   steal-weighted by their remaining simulated I/O,
 //! * each completed query is merged **deterministically** in plan order
-//!   through the same fold as the single-query engine
-//!   ([`crate::engine::merge_partials`]), so every query's hits and measure
-//!   sums are bit-identical to its isolated serial run, for every MPL,
-//!   worker count and scheduling interleave,
+//!   through the same fold as the single-query engine (the shared
+//!   `merge_partials`), so every query's hits and measure sums are
+//!   bit-identical to its isolated serial run, for every MPL, worker count
+//!   and scheduling interleave,
 //! * the run reports [`ThroughputMetrics`]: queries/sec, the per-query
-//!   latency distribution, worker utilisation, steal counts and the
-//!   disk-affinity hit rate.
+//!   latency distribution, worker utilisation, steal counts, the
+//!   disk-affinity hit rate and — with the I/O layer on — per-disk
+//!   utilisation, queue depth and cache statistics.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -41,6 +48,7 @@ use crate::engine::{
     merge_partials, placement_seed_order, process_fragment, ExecConfig, FragmentPartial,
     StarJoinEngine,
 };
+use crate::io::{throttle_for, SimulatedIo};
 use crate::metrics::{ExecMetrics, ThroughputMetrics, WorkerMetrics};
 use crate::plan::PredicateBinding;
 use crate::queue::StealDeques;
@@ -81,6 +89,15 @@ impl SchedulerConfig {
     #[must_use]
     pub fn with_placement(mut self, placement: allocation::PhysicalAllocation) -> Self {
         self.exec = self.exec.with_placement(placement);
+        self
+    }
+
+    /// Charges the whole stream against one shared simulated disk
+    /// subsystem built from `io` (cache state persists across the stream's
+    /// queries).
+    #[must_use]
+    pub fn with_io(mut self, io: crate::io::IoConfig) -> Self {
+        self.exec = self.exec.with_io(io);
         self
     }
 
@@ -135,6 +152,9 @@ struct Task {
     task: usize,
     /// The store fragment number to process.
     fragment: u64,
+    /// Simulated I/O charged to this task at admission (0 with the I/O
+    /// layer off).
+    sim_ms: f64,
     /// The owning query's bitmap predicates (shared across its tasks).
     bindings: Arc<Vec<PredicateBinding>>,
 }
@@ -144,6 +164,10 @@ struct Prepared {
     query_name: String,
     /// Plan fragment numbers, in plan (merge) order.
     fragments: Vec<u64>,
+    /// Row count per plan fragment (the I/O layer's scan sizes).
+    fragment_rows: Vec<u64>,
+    /// Physical bitmap fragments one fragment subquery must read.
+    bitmap_fragments: u64,
     /// Task indices in seeding order: the disk-affinity permutation when a
     /// placement is configured, plan order otherwise.
     seed_order: Vec<usize>,
@@ -186,6 +210,10 @@ struct Shared {
     prepared: Vec<Prepared>,
     mpl: usize,
     measure_count: usize,
+    /// The stream-wide simulated disk subsystem; scans are charged at
+    /// admission (under the control lock, in admission order — the
+    /// deterministic replay order).
+    io: Option<SimulatedIo>,
     started: Instant,
 }
 
@@ -238,16 +266,38 @@ impl Shared {
             let first = control.seed_cursor;
             control.seed_cursor = (control.seed_cursor + 1) % workers;
             let tasks = prepared.seed_order.len();
+            // Charge the admitted query's scans against the shared disk
+            // subsystem in *plan order* — admissions happen in query-id
+            // order under the control lock, so the whole stream's I/O
+            // replay is deterministic.
+            let charges = self.io.as_ref().map(|io| {
+                prepared
+                    .fragments
+                    .iter()
+                    .zip(&prepared.fragment_rows)
+                    .map(|(&fragment, &rows)| {
+                        io.charge_scan(fragment, rows, prepared.bitmap_fragments)
+                    })
+                    .collect::<Vec<_>>()
+            });
+            let steal_by_io = self.io.as_ref().is_some_and(|io| io.config().steal_by_io);
             for (position, &task) in prepared.seed_order.iter().enumerate() {
                 let home = (first + position * workers / tasks) % workers;
+                let charge = charges.as_ref().map(|c| c[task]);
+                let cost = match charge {
+                    Some(c) if steal_by_io => c.cost_units(),
+                    _ => 1,
+                };
                 self.deques.push(
                     home,
                     Task {
                         slot,
                         task,
                         fragment: prepared.fragments[task],
+                        sim_ms: charge.map_or(0.0, |c| c.sim_ms),
                         bindings: Arc::clone(&prepared.bindings),
                     },
+                    cost,
                 );
             }
         }
@@ -333,6 +383,10 @@ fn finalize(
 /// submitted query has finished.
 fn worker_loop(shared: &Shared, engine: &StarJoinEngine, worker: usize) -> WorkerMetrics {
     let store = engine.store();
+    let wall_ns_per_sim_ms = shared
+        .io
+        .as_ref()
+        .map_or(0, |io| io.config().wall_ns_per_sim_ms);
     let mut metrics = WorkerMetrics {
         worker,
         ..WorkerMetrics::default()
@@ -362,6 +416,8 @@ fn worker_loop(shared: &Shared, engine: &StarJoinEngine, worker: usize) -> Worke
             },
         };
         let task_started = Instant::now();
+        throttle_for(task.sim_ms, wall_ns_per_sim_ms);
+        metrics.sim_io_ms += task.sim_ms;
         let fragment = store.fragment(task.fragment);
         let (partial, compressed) =
             process_fragment(fragment, &task.bindings, store.measure_count(), task.task);
@@ -418,6 +474,12 @@ impl<'e> QueryScheduler<'e> {
                     query_name: plan.query_name().to_string(),
                     seed_order,
                     bindings: Arc::new(plan.bitmap_predicates()),
+                    fragment_rows: plan
+                        .fragments()
+                        .iter()
+                        .map(|&f| store.fragment(f).len() as u64)
+                        .collect(),
+                    bitmap_fragments: plan.bitmap_fragments_per_subquery(store.catalog()),
                     fragments: plan.fragments().to_vec(),
                 }
             })
@@ -447,6 +509,11 @@ impl<'e> QueryScheduler<'e> {
             prepared,
             mpl: self.config.mpl(),
             measure_count: store.measure_count(),
+            io: self
+                .config
+                .exec
+                .io
+                .map(|io_config| SimulatedIo::new(io_config, store.schema())),
             started,
         };
 
@@ -475,6 +542,7 @@ impl<'e> QueryScheduler<'e> {
         let wall = started.elapsed();
         worker_metrics.sort_by_key(|m| m.worker);
 
+        let io_metrics = shared.io.as_ref().map(SimulatedIo::metrics);
         let control = shared.control.into_inner().expect("control lock poisoned");
         let results: Vec<ScheduledQuery> = control
             .results
@@ -488,6 +556,7 @@ impl<'e> QueryScheduler<'e> {
                     workers: worker_metrics,
                     wall,
                     planned_fragments: total_tasks,
+                    io: io_metrics,
                 },
                 queries_completed: results.len(),
                 latencies,
@@ -653,6 +722,36 @@ mod tests {
             let b_bits: Vec<u64> = b.measure_sums.iter().map(|s| s.to_bits()).collect();
             assert_eq!(a_bits, b_bits);
         }
+    }
+
+    #[test]
+    fn stream_shares_one_io_subsystem_and_stays_bit_identical() {
+        let engine = engine();
+        let queries = stream(&engine, 10);
+        let io = crate::io::IoConfig::with_disks(6).cache(50_000);
+        let outcome = engine.execute_stream(&queries, &SchedulerConfig::new(4, 4).with_io(io));
+        // Results still bit-identical to isolated serial runs.
+        for (bound, scheduled) in queries.iter().zip(&outcome.queries) {
+            let serial = engine.execute_serial(bound);
+            assert_eq!(scheduled.hits, serial.hits);
+            let a: Vec<u64> = serial.measure_sums.iter().map(|s| s.to_bits()).collect();
+            let b: Vec<u64> = scheduled.measure_sums.iter().map(|s| s.to_bits()).collect();
+            assert_eq!(a, b);
+        }
+        let io_metrics = outcome.metrics.pool.io.as_ref().expect("I/O metrics");
+        assert_eq!(io_metrics.disk_count(), 6);
+        assert!(io_metrics.total_pages_read() > 0);
+        // Worker-side accounting matches the subsystem's charges.
+        let charged: f64 = io_metrics.per_disk.iter().map(|d| d.busy_ms).sum();
+        assert!((outcome.metrics.pool.total_sim_io_ms() - charged).abs() < 1e-6);
+        // The stream repeats query types over a big cache: later queries
+        // re-scan fragments the cache already holds.
+        assert!(io_metrics.cache_hit_rate() > 0.0);
+
+        // The admission-order replay is deterministic: same stream, same
+        // configuration → identical simulated metrics, at any MPL/workers.
+        let again = engine.execute_stream(&queries, &SchedulerConfig::new(2, 8).with_io(io));
+        assert_eq!(again.metrics.pool.io, outcome.metrics.pool.io);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! In-memory columnar storage of an MDHF-fragmented fact table.
 //!
-//! The simulator ([`simpad`]) works on cardinalities; this store holds *real*
+//! The simulator (`simpad`) works on cardinalities; this store holds *real*
 //! rows so that wall-clock execution can be measured.  A generated
 //! [`MaterialisedFactTable`] is partitioned by [`Fragmentation::fragment_of_row`]
 //! into one [`ColumnarFragment`] per fragment number.  Each fragment keeps
@@ -18,6 +18,19 @@ use bitmap::{
 };
 use mdhf::Fragmentation;
 use schema::{PageSizing, StarSchema};
+
+/// Splitmix64-style mixing, shared by the deterministic skewed-row
+/// generator here and the I/O layer's track scattering
+/// ([`crate::io`]) — one copy of the finalizer constants.
+pub(crate) fn mix64(seed: u64, value: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(value)
+        .wrapping_add(0x2545_F491_4F6C_DD1D);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// One fact fragment in columnar layout plus its fragment-aligned bitmap
 /// join indices.
@@ -157,6 +170,59 @@ impl FragmentStore {
             &MaterialisedFactTable::generate(schema, seed),
             policy,
         )
+    }
+
+    /// Generates a **selectivity-skewed** fact table of exactly `rows` rows
+    /// and partitions it under `fragmentation`: every dimension key is
+    /// drawn from a [`workload::ZipfSampler`] with skew factor `theta` over
+    /// the dimension's leaf cardinality, so hot values (key 0 first) own
+    /// far more rows and fragment sizes differ wildly — the workload the
+    /// skew-resilience experiments feed the simulated disk layer with.
+    /// `theta = 0` draws keys uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is negative or not finite, or the fragmentation
+    /// yields more than [`Self::MAX_FRAGMENTS`] fragments.
+    #[must_use]
+    pub fn build_skewed(
+        schema: &StarSchema,
+        fragmentation: &Fragmentation,
+        seed: u64,
+        theta: f64,
+        rows: usize,
+    ) -> Self {
+        let samplers: Vec<workload::ZipfSampler> = schema
+            .dimensions()
+            .iter()
+            .map(|d| workload::ZipfSampler::new(d.cardinality(), theta))
+            .collect();
+        let cards: Vec<u64> = schema
+            .dimensions()
+            .iter()
+            .map(|d| d.cardinality())
+            .collect();
+        let measure_count = schema.fact().measures().len().max(1);
+        let dims = samplers.len() as u64;
+        let fact_rows: Vec<FactRow> = (0..rows as u64)
+            .map(|r| {
+                let keys: Vec<u64> = samplers
+                    .iter()
+                    .enumerate()
+                    .map(|(d, s)| s.sample_u64(mix64(seed, r * (dims + 1) + d as u64)))
+                    .collect();
+                let measures: Vec<f64> = (0..measure_count)
+                    .map(|m| {
+                        f64::from(
+                            (mix64(seed ^ r, r * (dims + 1) + dims + m as u64) % 1_000) as u32,
+                        ) + 1.0
+                    })
+                    .collect();
+                FactRow { keys, measures }
+            })
+            .collect();
+        let table = MaterialisedFactTable::from_rows(fact_rows, cards);
+        Self::from_table(schema, fragmentation, &table)
     }
 
     /// Partitions an existing materialised table under `fragmentation` with
@@ -476,6 +542,44 @@ mod tests {
         assert!(
             measured.bytes_per_fragment() <= adaptive.logical_bitmap_sizing().bytes_per_fragment()
         );
+    }
+
+    #[test]
+    fn skewed_stores_concentrate_rows_on_hot_fragments() {
+        let schema = apb1_scaled_down();
+        let fragmentation =
+            Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+        let rows = 60_000;
+        let uniform = FragmentStore::build_skewed(&schema, &fragmentation, 7, 0.0, rows);
+        let skewed = FragmentStore::build_skewed(&schema, &fragmentation, 7, 1.0, rows);
+        assert_eq!(uniform.total_rows(), rows);
+        assert_eq!(skewed.total_rows(), rows);
+
+        let largest = |store: &FragmentStore| {
+            store
+                .fragments()
+                .iter()
+                .map(ColumnarFragment::len)
+                .max()
+                .unwrap()
+        };
+        let mean = rows / uniform.fragment_count() as usize;
+        // Uniform keys stay near the mean; Zipf keys pile onto the hot
+        // (month 0, group 0) fragment.
+        assert!(largest(&uniform) < 3 * mean, "{}", largest(&uniform));
+        assert!(largest(&skewed) > 10 * mean, "{}", largest(&skewed));
+        // The hot fragment is the one holding the hottest values.
+        let hot = skewed
+            .fragments()
+            .iter()
+            .max_by_key(|f| f.len())
+            .unwrap()
+            .fragment_number();
+        assert_eq!(skewed.fragmentation().coordinates(hot).0, vec![0, 0]);
+
+        // Deterministic for a fixed seed.
+        let again = FragmentStore::build_skewed(&schema, &fragmentation, 7, 1.0, rows);
+        assert_eq!(largest(&again), largest(&skewed));
     }
 
     #[test]

@@ -189,9 +189,9 @@ impl Engine {
     }
 
     /// Runs all queries to completion and returns per-query metrics together
-    /// with the mean disk and CPU utilisation and the total simulated time
-    /// `(metrics, disk_util, cpu_util, simulated_ms)`.
-    pub fn run(mut self) -> (Vec<QueryMetrics>, f64, f64, f64) {
+    /// with the per-disk utilisations, the mean CPU utilisation and the
+    /// total simulated time `(metrics, disk_utils, cpu_util, simulated_ms)`.
+    pub fn run(mut self) -> (Vec<QueryMetrics>, Vec<f64>, f64, f64) {
         // Start the first `concurrency` queries at time zero.
         let initial = self.concurrency.min(self.plans.len());
         for q in 0..initial {
@@ -206,15 +206,11 @@ impl Engine {
             self.handle(time, event);
         }
         let horizon = self.events.now();
-        let disk_util = if self.disks.is_empty() {
-            0.0
-        } else {
-            self.disks
-                .iter()
-                .map(|d| d.server.utilisation(horizon))
-                .sum::<f64>()
-                / self.disks.len() as f64
-        };
+        let disk_utils: Vec<f64> = self
+            .disks
+            .iter()
+            .map(|d| d.server.utilisation(horizon))
+            .collect();
         let cpu_util = if self.nodes.is_empty() {
             0.0
         } else {
@@ -224,7 +220,7 @@ impl Engine {
                 .sum::<f64>()
                 / self.nodes.len() as f64
         };
-        (self.metrics, disk_util, cpu_util, horizon.as_millis())
+        (self.metrics, disk_utils, cpu_util, horizon.as_millis())
     }
 
     fn new_query_state(&mut self) -> QueryState {
@@ -668,8 +664,9 @@ mod tests {
             QueryType::OneMonthOneGroup,
             vec![3, 17],
         );
+        let disks = config.disks;
         let engine = Engine::new(config, layout, vec![plan], 1);
-        let (metrics, disk_util, cpu_util, simulated) = engine.run();
+        let (metrics, disk_utils, cpu_util, simulated) = engine.run();
         assert_eq!(metrics.len(), 1);
         let m = &metrics[0];
         assert_eq!(m.subqueries, 1);
@@ -681,7 +678,8 @@ mod tests {
         assert!(m.disk_io_ops >= 100);
         assert!(m.pages_read >= 795);
         assert!(simulated >= m.response_ms);
-        assert!((0.0..=1.0).contains(&disk_util));
+        assert_eq!(disk_utils.len() as u64, disks);
+        assert!(disk_utils.iter().all(|u| (0.0..=1.0).contains(u)));
         assert!((0.0..=1.0).contains(&cpu_util));
     }
 

@@ -39,6 +39,9 @@ pub struct RunSummary {
     pub std_response_ms: f64,
     /// Mean disk utilisation over the run (0–1, averaged over disks).
     pub disk_utilisation: f64,
+    /// Per-disk utilisation over the run (0–1, indexed by disk) — the
+    /// simulated per-disk load profile skew experiments compare against.
+    pub disk_utilisations: Vec<f64>,
     /// Mean CPU utilisation over the run (0–1, averaged over nodes).
     pub cpu_utilisation: f64,
     /// Total simulated time of the run in milliseconds.
@@ -55,7 +58,7 @@ impl RunSummary {
         nodes: usize,
         subqueries_per_node: usize,
         queries: Vec<QueryMetrics>,
-        disk_utilisation: f64,
+        disk_utilisations: Vec<f64>,
         cpu_utilisation: f64,
         simulated_ms: f64,
     ) -> Self {
@@ -63,6 +66,11 @@ impl RunSummary {
         for q in &queries {
             tally.record(q.response_ms);
         }
+        let disk_utilisation = if disk_utilisations.is_empty() {
+            0.0
+        } else {
+            disk_utilisations.iter().sum::<f64>() / disk_utilisations.len() as f64
+        };
         RunSummary {
             query_name,
             disks,
@@ -72,6 +80,7 @@ impl RunSummary {
             mean_response_ms: tally.mean(),
             std_response_ms: tally.std_dev(),
             disk_utilisation,
+            disk_utilisations,
             cpu_utilisation,
             simulated_ms,
         }
@@ -94,6 +103,16 @@ impl RunSummary {
             return 0.0;
         }
         self.queries.len() as f64 / (self.simulated_ms / 1_000.0)
+    }
+
+    /// Simulated per-disk load imbalance: the busiest disk's utilisation
+    /// over the mean disk utilisation (1.0 = perfectly declustered, as the
+    /// paper's round-robin allocation achieves for uniform workloads; an
+    /// all-idle run reports 1.0), via the shared
+    /// [`allocation::load_imbalance`] formula.
+    #[must_use]
+    pub fn disk_imbalance(&self) -> f64 {
+        allocation::load_imbalance(&self.disk_utilisations)
     }
 
     /// Speed-up of this run relative to a baseline run (baseline mean
@@ -129,7 +148,7 @@ mod tests {
             20,
             4,
             vec![metric(1_000.0), metric(2_000.0), metric(3_000.0)],
-            0.5,
+            vec![0.6, 0.4],
             0.3,
             6_000.0,
         );
@@ -138,6 +157,10 @@ mod tests {
         assert_eq!(summary.mean_response_secs(), 2.0);
         assert_eq!(summary.queries.len(), 3);
         assert_eq!(summary.query_name, "1MONTH");
+        // The mean utilisation derives from the per-disk profile, whose
+        // imbalance is busiest over mean.
+        assert!((summary.disk_utilisation - 0.5).abs() < 1e-12);
+        assert!((summary.disk_imbalance() - 1.2).abs() < 1e-12);
         // 3 queries over 6 simulated seconds → 0.5 queries/sec.
         assert!((summary.throughput_qps() - 0.5).abs() < 1e-12);
     }
@@ -150,7 +173,7 @@ mod tests {
             1,
             4,
             vec![metric(10_000.0)],
-            0.9,
+            vec![0.9],
             0.1,
             10_000.0,
         );
@@ -160,7 +183,7 @@ mod tests {
             5,
             4,
             vec![metric(2_000.0)],
-            0.9,
+            vec![0.9],
             0.1,
             2_000.0,
         );
@@ -170,8 +193,10 @@ mod tests {
 
     #[test]
     fn empty_run_is_safe() {
-        let summary = RunSummary::from_queries("q".into(), 10, 2, 4, vec![], 0.0, 0.0, 0.0);
+        let summary = RunSummary::from_queries("q".into(), 10, 2, 4, vec![], vec![], 0.0, 0.0);
         assert_eq!(summary.mean_response_ms, 0.0);
         assert_eq!(summary.std_response_ms, 0.0);
+        assert_eq!(summary.disk_utilisation, 0.0);
+        assert_eq!(summary.disk_imbalance(), 1.0);
     }
 }

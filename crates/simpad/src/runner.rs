@@ -109,7 +109,7 @@ pub fn run_experiment(setup: &ExperimentSetup) -> RunSummary {
     };
 
     let engine = Engine::new(setup.config, layout, plans, setup.stream.concurrency());
-    let (metrics, disk_util, cpu_util, simulated_ms) = engine.run();
+    let (metrics, disk_utils, cpu_util, simulated_ms) = engine.run();
 
     RunSummary::from_queries(
         setup.query_type.name(),
@@ -117,7 +117,7 @@ pub fn run_experiment(setup: &ExperimentSetup) -> RunSummary {
         setup.config.nodes,
         setup.config.subqueries_per_node,
         metrics,
-        disk_util,
+        disk_utils,
         cpu_util,
         simulated_ms,
     )

@@ -56,15 +56,18 @@ pub mod prelude {
         WahBitmap,
     };
     pub use exec::{
-        ExecConfig, ExecMetrics, FragmentStore, QueryPlan, QueryResult, QueryScheduler,
-        ScheduledQuery, SchedulerConfig, StarJoinEngine, StreamOutcome, ThroughputMetrics,
+        DiskIoStats, ExecConfig, ExecMetrics, FragmentStore, IoConfig, IoMetrics, QueryPlan,
+        QueryResult, QueryScheduler, ScheduledQuery, SchedulerConfig, SimulatedIo, StarJoinEngine,
+        StreamOutcome, ThroughputMetrics,
     };
     pub use mdhf::{
         classify, Advisor, AdvisorConfig, CostModel, Fragmentation, IoClass, QueryClass, StarQuery,
     };
     pub use schema::{self, StarSchema};
     pub use simpad::{run_experiment, ExperimentSetup, SimConfig};
-    pub use workload::{BoundQuery, InterleavedStream, QueryGenerator, QueryStream, QueryType};
+    pub use workload::{
+        BoundQuery, InterleavedStream, QueryGenerator, QueryStream, QueryType, ZipfSampler,
+    };
 }
 
 #[cfg(test)]

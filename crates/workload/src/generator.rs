@@ -8,6 +8,7 @@ use simkit_free_rng::SplitMix;
 
 use crate::bound::BoundQuery;
 use crate::queries::QueryType;
+use crate::skew::ZipfSampler;
 
 /// A tiny splitmix64 generator so the workload crate does not need a direct
 /// dependency on the simulation engine's RNG wrapper.  Deterministic for a
@@ -43,6 +44,9 @@ pub struct QueryGenerator {
     shape: StarQuery,
     rng: SplitMix,
     generated: u64,
+    /// One Zipf sampler per predicate when value skew is enabled; `None`
+    /// keeps the paper's uniform parameter selection.
+    value_skew: Option<Vec<ZipfSampler>>,
 }
 
 impl QueryGenerator {
@@ -56,7 +60,33 @@ impl QueryGenerator {
             shape,
             rng: SplitMix(seed ^ 0xA5A5_A5A5_5A5A_5A5A),
             generated: 0,
+            value_skew: None,
         }
+    }
+
+    /// Draws every predicate value from a Zipf(θ) distribution over its
+    /// attribute's cardinality instead of uniformly — the attribute-value
+    /// skew of hot-spot workloads (value 0 is the hottest).  `theta = 0`
+    /// disables the samplers and reproduces the uniform generator's
+    /// instance sequence exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is negative or not finite.
+    #[must_use]
+    pub fn with_value_skew(mut self, theta: f64) -> Self {
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "skew factor must be finite and non-negative"
+        );
+        self.value_skew = (theta > 0.0).then(|| {
+            self.shape
+                .predicates()
+                .iter()
+                .map(|p| ZipfSampler::new(p.attr.cardinality(&self.schema), theta))
+                .collect()
+        });
+        self
     }
 
     /// The query type this generator instantiates.
@@ -71,14 +101,21 @@ impl QueryGenerator {
         self.generated
     }
 
-    /// Generates the next instance with uniformly random parameter values.
+    /// Generates the next instance: uniformly random parameter values by
+    /// default, Zipf-skewed ones under [`QueryGenerator::with_value_skew`].
     pub fn next_instance(&mut self) -> BoundQuery {
-        let values: Vec<u64> = self
-            .shape
-            .predicates()
-            .iter()
-            .map(|p| self.rng.below(p.attr.cardinality(&self.schema)))
-            .collect();
+        let values: Vec<u64> = match &self.value_skew {
+            Some(samplers) => samplers
+                .iter()
+                .map(|s| s.sample_u64(self.rng.next_u64()))
+                .collect(),
+            None => self
+                .shape
+                .predicates()
+                .iter()
+                .map(|p| self.rng.below(p.attr.cardinality(&self.schema)))
+                .collect(),
+        };
         self.generated += 1;
         BoundQuery::new(&self.schema, self.shape.clone(), values)
     }
@@ -156,6 +193,22 @@ impl InterleavedStream {
                 .collect(),
             next: 0,
         }
+    }
+
+    /// Applies [`QueryGenerator::with_value_skew`] to every generator of
+    /// the mix — a deterministic hot-spot stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is negative or not finite.
+    #[must_use]
+    pub fn with_value_skew(mut self, theta: f64) -> Self {
+        self.generators = self
+            .generators
+            .into_iter()
+            .map(|g| g.with_value_skew(theta))
+            .collect();
+        self
     }
 
     /// The next query of the stream (round-robin over the mixed types).
@@ -264,5 +317,42 @@ mod tests {
     #[should_panic(expected = "at least one query type")]
     fn empty_stream_mix_rejected() {
         let _ = InterleavedStream::new(&apb1_schema(), &[], 1);
+    }
+
+    #[test]
+    fn value_skew_concentrates_queries_on_hot_values() {
+        let s = apb1_schema();
+        let batch = QueryGenerator::new(&s, QueryType::OneStore, 7)
+            .with_value_skew(1.0)
+            .batch(400);
+        // Under Zipf θ = 1 over 1 440 stores, the hottest store (~12 % of
+        // draws) dominates; a uniform generator gives each ~0.07 %.
+        let hot = batch.iter().filter(|q| q.values()[0] == 0).count();
+        assert!(hot > 20, "hot-value draws: {hot}");
+        assert!(batch.iter().all(|q| q.values()[0] < 1_440));
+        // Reproducible for a fixed seed.
+        let again = QueryGenerator::new(&s, QueryType::OneStore, 7)
+            .with_value_skew(1.0)
+            .batch(400);
+        assert_eq!(batch, again);
+    }
+
+    #[test]
+    fn zero_skew_matches_the_uniform_generator_exactly() {
+        let s = apb1_schema();
+        let uniform = QueryGenerator::new(&s, QueryType::OneMonthOneGroup, 42).batch(50);
+        let zero_skew = QueryGenerator::new(&s, QueryType::OneMonthOneGroup, 42)
+            .with_value_skew(0.0)
+            .batch(50);
+        assert_eq!(uniform, zero_skew);
+    }
+
+    #[test]
+    fn skewed_interleaved_stream_is_deterministic() {
+        let s = apb1_schema();
+        let types = [QueryType::OneMonthOneGroup, QueryType::OneCode];
+        let mut a = InterleavedStream::new(&s, &types, 11).with_value_skew(1.0);
+        let mut b = InterleavedStream::new(&s, &types, 11).with_value_skew(1.0);
+        assert_eq!(a.take_queries(12), b.take_queries(12));
     }
 }

@@ -14,12 +14,18 @@
 //! * [`generator::QueryGenerator`] — reproducible random instantiation and
 //!   single-user / multi-user query streams,
 //! * [`generator::InterleavedStream`] — a deterministic multi-type stream in
-//!   admission (submission) order, the input of the concurrent scheduler.
+//!   admission (submission) order, the input of the concurrent scheduler,
+//! * [`skew::ZipfSampler`] — deterministic Zipf(θ) value sampling behind
+//!   both attribute-value-skewed query streams
+//!   ([`QueryGenerator::with_value_skew`]) and selectivity-skewed fact
+//!   tables (`exec::FragmentStore::build_skewed`).
 
 pub mod bound;
 pub mod generator;
 pub mod queries;
+pub mod skew;
 
 pub use bound::BoundQuery;
 pub use generator::{InterleavedStream, QueryGenerator, QueryStream};
 pub use queries::QueryType;
+pub use skew::ZipfSampler;

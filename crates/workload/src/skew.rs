@@ -1,0 +1,206 @@
+//! Zipf-skewed value sampling — the workload side of skew resilience.
+//!
+//! The paper's experiments assume uniformly distributed query parameters and
+//! fact rows; real warehouse workloads are skewed (a few hot products and
+//! stores draw most of the queries and most of the rows).  This module
+//! provides one deterministic primitive for both kinds of skew:
+//!
+//! * **attribute-value skew** — [`crate::QueryGenerator::with_value_skew`]
+//!   draws bound predicate values from a [`ZipfSampler`] instead of the
+//!   uniform distribution, so hot attribute values are queried far more
+//!   often,
+//! * **selectivity skew** — `exec::FragmentStore::build_skewed` draws fact
+//!   row *keys* from per-dimension [`ZipfSampler`]s, so hot values own far
+//!   more rows and MDHF fragments differ wildly in size.
+//!
+//! A skew factor θ = 0 reproduces the uniform distribution exactly; θ = 1 is
+//! classic Zipf (value `i` has weight `1 / (i + 1)`).
+
+/// A deterministic sampler over `0..n` with Zipf(θ) weights
+/// `w_i ∝ 1 / (i + 1)^θ` (value 0 is the hottest).
+///
+/// Sampling maps a uniform `u ∈ [0, 1)` through the precomputed cumulative
+/// distribution, so the same `u` always yields the same value — no internal
+/// RNG state, which keeps every consumer reproducible.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative weights, normalised to end at 1.0; `cdf[i]` is the
+    /// probability of drawing a value `<= i`.
+    cdf: Vec<f64>,
+    theta: f64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `0..n` with skew factor `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero, or `theta` is negative or not finite.
+    #[must_use]
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "a Zipf sampler needs at least one value");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "skew factor must be finite and non-negative"
+        );
+        let mut cdf = Vec::with_capacity(usize::try_from(n).expect("cardinality fits usize"));
+        let mut total = 0.0f64;
+        for i in 0..n {
+            total += ((i + 1) as f64).powf(-theta);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf, theta }
+    }
+
+    /// The number of values the sampler draws from.
+    #[must_use]
+    pub fn cardinality(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// The configured skew factor θ.
+    #[must_use]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The probability of drawing value `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn share(&self, i: u64) -> f64 {
+        let i = usize::try_from(i).expect("value fits usize");
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// All per-value probabilities, in value order (sums to 1).
+    #[must_use]
+    pub fn shares(&self) -> Vec<f64> {
+        (0..self.cardinality()).map(|i| self.share(i)).collect()
+    }
+
+    /// Maps a uniform `u ∈ [0, 1)` to a value (binary search on the CDF).
+    /// Out-of-range `u` is clamped.
+    #[must_use]
+    pub fn sample(&self, u: f64) -> u64 {
+        let u = u.clamp(0.0, 1.0 - f64::EPSILON);
+        self.cdf.partition_point(|&c| c <= u) as u64
+    }
+
+    /// Maps a raw 64-bit word to a value, using the word's top 53 bits as
+    /// the uniform input — the bridge from splitmix-style generators.
+    #[must_use]
+    pub fn sample_u64(&self, word: u64) -> u64 {
+        self.sample((word >> 11) as f64 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let s = ZipfSampler::new(8, 0.0);
+        for i in 0..8 {
+            assert!((s.share(i) - 0.125).abs() < 1e-12, "share({i})");
+        }
+        // Uniform sampling maps u directly to the value's slot.
+        assert_eq!(s.sample(0.0), 0);
+        assert_eq!(s.sample(0.13), 1);
+        assert_eq!(s.sample(0.99), 7);
+    }
+
+    #[test]
+    fn theta_one_matches_harmonic_weights() {
+        let s = ZipfSampler::new(4, 1.0);
+        let h = 1.0 + 0.5 + 1.0 / 3.0 + 0.25;
+        assert!((s.share(0) - 1.0 / h).abs() < 1e-12);
+        assert!((s.share(3) - 0.25 / h).abs() < 1e-12);
+        let total: f64 = s.shares().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(s.cardinality(), 4);
+        assert_eq!(s.theta(), 1.0);
+    }
+
+    #[test]
+    fn skew_concentrates_samples_on_hot_values() {
+        let uniform = ZipfSampler::new(100, 0.0);
+        let skewed = ZipfSampler::new(100, 1.0);
+        // Value 0's share grows from 1 % to ~19 % at θ = 1.
+        assert!(skewed.share(0) > 5.0 * uniform.share(0));
+        // Hotter values never have smaller shares than colder ones.
+        let shares = skewed.shares();
+        assert!(shares.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_in_range() {
+        let s = ZipfSampler::new(17, 0.7);
+        for word in [0u64, 1, u64::MAX, 0xDEAD_BEEF, 1 << 63] {
+            let v = s.sample_u64(word);
+            assert!(v < 17);
+            assert_eq!(v, s.sample_u64(word));
+        }
+        // Extreme uniform inputs are clamped, not out of range.
+        assert_eq!(s.sample(-1.0), 0);
+        assert!(s.sample(2.0) < 17);
+    }
+
+    #[test]
+    fn empirical_frequencies_follow_the_cdf() {
+        let s = ZipfSampler::new(10, 1.0);
+        let mut counts = [0u64; 10];
+        let n = 100_000u64;
+        for i in 0..n {
+            // A crude but deterministic uniform scan of [0, 1).
+            counts[s.sample(i as f64 / n as f64) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let got = c as f64 / n as f64;
+            let want = s.share(i as u64);
+            assert!((got - want).abs() < 1e-3, "value {i}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn zero_cardinality_rejected() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_theta_rejected() {
+        let _ = ZipfSampler::new(4, -0.5);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Samples are always in range and the CDF is monotone with a unit
+        /// total.
+        #[test]
+        fn prop_sampler_sanity(n in 1u64..500, theta in 0.0f64..2.0, word in 0u64..u64::MAX) {
+            let s = ZipfSampler::new(n, theta);
+            prop_assert!(s.sample_u64(word) < n);
+            let shares = s.shares();
+            prop_assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            // Monotone non-increasing shares: value i is at least as hot as i+1.
+            prop_assert!(shares.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+        }
+    }
+}

@@ -14,7 +14,7 @@
 //! Supported surface: `proptest!` with an optional
 //! `#![proptest_config(ProptestConfig::with_cases(n))]` header, integer and
 //! float range strategies, tuple strategies, [`collection::vec`],
-//! [`bool::ANY`](crate::bool::ANY), [`option::of`], [`Strategy::prop_map`],
+//! [`bool::ANY`], [`option::of`], [`Strategy::prop_map`],
 //! `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!` and `prop_assume!`.
 
 use std::ops::Range;
@@ -264,7 +264,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Admissible length range for [`vec`], mirroring `proptest::collection::SizeRange`.
+    /// Admissible length range for [`vec()`], mirroring `proptest::collection::SizeRange`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,
@@ -291,7 +291,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
