@@ -17,6 +17,8 @@
 //!   sets.
 //! * [`capacity`] — per-disk storage accounting and balance metrics.
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod capacity;
 pub mod layout;

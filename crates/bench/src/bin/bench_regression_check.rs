@@ -184,9 +184,8 @@ fn main() -> ExitCode {
     let baseline_dir =
         PathBuf::from(arg_value("--baseline").unwrap_or_else(|| "bench/baseline".to_string()));
     let current_dir = PathBuf::from(arg_value("--current").unwrap_or_else(|| ".".to_string()));
-    let tolerance: f64 = arg_value("--tolerance")
-        .map(|t| t.parse().expect("tolerance must be a number"))
-        .unwrap_or(0.15);
+    let tolerance: f64 =
+        arg_value("--tolerance").map_or(0.15, |t| t.parse().expect("tolerance must be a number"));
 
     let current_files = bench_files(&current_dir);
     if current_files.is_empty() {

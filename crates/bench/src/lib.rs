@@ -5,6 +5,8 @@
 //! using these helpers to build the APB-1 schema, the fragmentations under
 //! test and the simulator setups.
 
+#![forbid(unsafe_code)]
+
 use warehouse::prelude::*;
 use warehouse::simpad;
 

@@ -7,7 +7,7 @@
 //! bitmap join indices over it.  Examples and integration tests compare
 //! bitmap-driven star-join results against a brute-force scan.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -58,7 +58,7 @@ impl MaterialisedFactTable {
         let cards: Vec<u64> = schema
             .dimensions()
             .iter()
-            .map(|d| d.cardinality())
+            .map(schema::Dimension::cardinality)
             .collect();
         let density = schema.fact().density();
         let measures = schema.fact().measures().len().max(1);
@@ -194,7 +194,7 @@ pub struct MaterialisedIndex {
     /// For encoded indices: one bitmap per encoding bit (most significant /
     /// coarsest first).  For simple indices: bitmaps keyed by (level, value).
     encoded_bitmaps: Vec<BitmapRepr>,
-    simple_bitmaps: HashMap<(usize, u64), BitmapRepr>,
+    simple_bitmaps: BTreeMap<(usize, u64), BitmapRepr>,
     encoding: Option<HierarchicalEncoding>,
     schema: StarSchema,
 }
@@ -233,7 +233,7 @@ impl MaterialisedIndex {
         let hierarchy = schema.dimensions()[dimension].hierarchy().clone();
 
         let mut encoded_bitmaps = Vec::new();
-        let mut simple_bitmaps: HashMap<(usize, u64), BitmapRepr> = HashMap::new();
+        let mut simple_bitmaps: BTreeMap<(usize, u64), BitmapRepr> = BTreeMap::new();
         let mut encoding = None;
 
         match spec.kind() {
@@ -256,7 +256,7 @@ impl MaterialisedIndex {
                 encoding = Some(enc.clone());
             }
             BitmapIndexKind::Simple => {
-                let mut plain: HashMap<(usize, u64), Bitmap> = HashMap::new();
+                let mut plain: BTreeMap<(usize, u64), Bitmap> = BTreeMap::new();
                 for level in 0..hierarchy.depth() {
                     for value in 0..hierarchy.cardinality(level) {
                         plain.insert((level, value), Bitmap::new(n));

@@ -32,7 +32,11 @@ impl HierarchicalEncoding {
     /// `ceil(log2(fanout))` bits (minimum 0 bits for fan-out 1).
     #[must_use]
     pub fn for_hierarchy(hierarchy: &Hierarchy) -> Self {
-        let fanouts: Vec<u64> = hierarchy.levels().iter().map(|l| l.fanout()).collect();
+        let fanouts: Vec<u64> = hierarchy
+            .levels()
+            .iter()
+            .map(schema::HierarchyLevel::fanout)
+            .collect();
         let bits_per_level = fanouts.iter().map(|&f| bits_for(f)).collect();
         HierarchicalEncoding {
             bits_per_level,

@@ -28,6 +28,8 @@
 //!   integration tests to validate the logical model against actual data,
 //! * [`fragment`] — bitmap fragmentation aligned with fact-table fragments.
 
+#![forbid(unsafe_code)]
+
 pub mod bitvec;
 pub mod builder;
 pub mod encoding;

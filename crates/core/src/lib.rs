@@ -22,6 +22,8 @@
 //! * [`advisor`] — the §4.7 guidelines packaged as a fragmentation advisor
 //!   that ranks candidate fragmentations for a weighted query mix.
 
+#![forbid(unsafe_code)]
+
 pub mod advisor;
 pub mod classify;
 pub mod cost;

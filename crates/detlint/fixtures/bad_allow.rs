@@ -1,0 +1,10 @@
+//! Fixture: malformed allow directives — an unknown rule and a missing
+//! reason.  Both must surface as violations, not silently succeed.
+
+pub fn noop() {
+    // detlint: allow(no-such-rule, reason = "this rule does not exist")
+    let a = 1;
+    // detlint: allow(wall-clock)
+    let b = 2;
+    assert_eq!(a + b, 3);
+}

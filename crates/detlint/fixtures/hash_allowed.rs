@@ -1,0 +1,13 @@
+//! Fixture: a justified hash container — interned strings never feed
+//! results, so iteration order cannot leak.
+
+pub struct Interner {
+    // detlint: allow(hash-container, reason = "lookup only; never iterated, so order cannot reach results")
+    map: std::collections::HashMap<String, u32>,
+}
+
+impl Interner {
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.map.get(s).copied()
+    }
+}

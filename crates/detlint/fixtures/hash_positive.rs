@@ -1,0 +1,12 @@
+//! Fixture: iteration-order-dependent containers in result-producing code.
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(xs: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_default() += 1;
+    }
+    let seen: HashSet<u32> = xs.iter().copied().collect();
+    assert!(seen.len() <= xs.len());
+    counts.into_iter().collect()
+}

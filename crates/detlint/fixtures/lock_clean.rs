@@ -1,0 +1,27 @@
+//! Fixture: two locks always taken in the same order, with a scoped guard
+//! and an explicit drop — an acyclic graph.
+use std::sync::Mutex;
+
+pub struct Ordered {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Ordered {
+    pub fn f(&self) -> u32 {
+        let ga = self.a.plock("a");
+        let gb = self.b.plock("b");
+        *ga + *gb
+    }
+
+    pub fn g(&self) -> u32 {
+        let first = {
+            let ga = self.a.plock("a");
+            *ga
+        };
+        let gb = self.b.plock("b");
+        drop(gb);
+        let ga = self.a.plock("a");
+        first + *ga
+    }
+}

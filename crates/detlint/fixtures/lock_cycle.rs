@@ -1,0 +1,22 @@
+//! Fixture: a classic two-lock order inversion — `f` takes a then b, `g`
+//! takes b then a; interleaved threads deadlock.
+use std::sync::Mutex;
+
+pub struct Inverted {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Inverted {
+    pub fn f(&self) -> u32 {
+        let ga = self.a.plock("a");
+        let gb = self.b.plock("b");
+        *ga + *gb
+    }
+
+    pub fn g(&self) -> u32 {
+        let gb = self.b.plock("b");
+        let ga = self.a.plock("a");
+        *ga + *gb
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: poison-swallowing and wrapper-bypassing acquisitions.
+use std::sync::Mutex;
+
+pub struct Bare {
+    inner: Mutex<u32>,
+}
+
+impl Bare {
+    pub fn swallows_poison(&self) -> u32 {
+        *self.inner.lock().unwrap()
+    }
+
+    pub fn bypasses_wrapper(&self) -> u32 {
+        *self.inner.lock().expect("poisoned")
+    }
+}

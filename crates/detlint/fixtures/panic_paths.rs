@@ -1,0 +1,14 @@
+//! Fixture: a known inventory of panic paths — 2 unwraps, 1 expect, 3
+//! indexing sites (the string literal below must not count).
+
+pub fn first_two(xs: &[u64], m: Option<u64>) -> u64 {
+    let a = xs.first().unwrap();
+    let b = m.unwrap();
+    let c = m.expect("checked by caller");
+    let d = xs[0] + xs[1];
+    let table = [1u64, 2, 3];
+    let e = table[2];
+    let s = "not [an] index";
+    assert!(!s.is_empty());
+    a + b + c + d + e
+}

@@ -1,0 +1,12 @@
+//! Fixture: a justified ambient-hash use — a scratch set that is drained
+//! into a sorted Vec before anything downstream can observe its order.
+
+pub fn dedup_sorted(xs: &[u64]) -> Vec<u64> {
+    // detlint: allow(ambient-rng, reason = "scratch DefaultHasher probe; output is re-sorted before use")
+    let h = std::collections::hash_map::DefaultHasher::new();
+    let _ = h;
+    let mut out = xs.to_vec();
+    out.sort_unstable();
+    out.dedup();
+    out
+}

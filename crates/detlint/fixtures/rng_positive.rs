@@ -1,0 +1,12 @@
+//! Fixture: ambient (entropy-seeded or hash-ambient) randomness.
+use std::collections::hash_map::DefaultHasher;
+use std::collections::hash_map::RandomState;
+
+pub fn ambient() -> u64 {
+    let mut rng = rand::thread_rng();
+    let stream = Xoshiro256PlusPlus::from_entropy();
+    let hasher = DefaultHasher::new();
+    let state = RandomState::new();
+    let noise = getrandom::getrandom();
+    0
+}

@@ -1,0 +1,7 @@
+//! Fixture: an `unsafe` block with a SAFETY comment directly above it.
+
+pub fn transmute_bits(x: f64) -> u64 {
+    // SAFETY: f64 and u64 have identical size and alignment; any bit
+    // pattern is a valid u64.
+    unsafe { std::mem::transmute(x) }
+}

@@ -1,0 +1,5 @@
+//! Fixture: an `unsafe` block with no SAFETY justification.
+
+pub fn transmute_bits(x: f64) -> u64 {
+    unsafe { std::mem::transmute(x) }
+}

@@ -1,0 +1,10 @@
+//! Fixture: a justified wall-clock read — latency observability that never
+//! feeds query results.
+use std::time::Instant;
+
+pub fn measure<F: FnOnce()>(f: F) -> f64 {
+    // detlint: allow(wall-clock, reason = "wall latency is observability; results never depend on it")
+    let started = Instant::now();
+    f();
+    started.elapsed().as_secs_f64()
+}

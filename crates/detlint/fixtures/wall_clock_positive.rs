@@ -1,0 +1,9 @@
+//! Fixture: wall-time and environment reads in result-producing code.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime, Option<String>) {
+    let started = Instant::now();
+    let wall = SystemTime::now();
+    let seed = std::env::var("SEED").ok();
+    (started, wall, seed)
+}

@@ -1,0 +1,1176 @@
+//! Lock-discipline analysis: build the may-hold-while-acquiring graph and
+//! fail on cycles.
+//!
+//! The analysis is AST-lite, tuned for this workspace's lock idioms:
+//!
+//! 1. **Lock identities** are declared `Mutex<…>` / `RwLock<…>` fields
+//!    (`control: Mutex<Control>`, `deques: Vec<Mutex<CostedDeque<T>>>`), so
+//!    every element of a lock array shares one identity — conservative for
+//!    per-worker deque locks.
+//! 2. **Acquisition sites** are `.plock(`, `.lock()`, `.read()`, `.write()`
+//!    calls whose receiver chain ends in a known lock name.
+//! 3. **Guards** bound with a plain `let g = <receiver chain>.plock(…)` are
+//!    held until `drop(g)`, the end of the enclosing brace scope, or the end
+//!    of the function; acquisitions used as temporaries are released at the
+//!    end of their statement and treated as never held.
+//! 4. **Calls** are resolved *typed-lite*: `impl` blocks associate each
+//!    method with its owner type, and `name: Type` annotations (fields and
+//!    parameters) associate receiver identifiers with candidate types.
+//!    `self.f(…)` resolves by name; `recv.f(…)` resolves only when some
+//!    candidate type of `recv` actually owns an `f` — so `Vec::push` never
+//!    aliases a lock-acquiring `push` elsewhere in the crate.  Resolved
+//!    callees are summarised to the set of locks they transitively acquire;
+//!    calling one while holding `A` adds edges `A → acquired`.  Functions
+//!    returning a guard (`-> MutexGuard<…>`) are wrappers: binding their
+//!    result holds their locks.  Acquisition-shaped sites (`.plock(…)`,
+//!    argument-less `.lock()`/`.read()`/`.write()`) are never treated as
+//!    calls — they are already acquisition events.
+//!
+//! A cycle in the resulting digraph is an interleaving that can deadlock —
+//! exactly the scheduler-control-lock vs `PagePool` vs `StealDeques`
+//! inversions the multi-user engine must never grow.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::report::Diagnostic;
+use crate::source::SourceFile;
+
+/// One `from → to` edge: `to` was acquired while `from` was held.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    /// The held lock.
+    pub from: String,
+    /// The lock acquired while holding `from`.
+    pub to: String,
+    /// File of the acquiring site.
+    pub file: String,
+    /// 1-based line of the acquiring site.
+    pub line: usize,
+}
+
+/// Output of the analysis over one set of files.
+#[derive(Debug, Default)]
+pub struct LockAnalysis {
+    /// Every declared lock identity.
+    pub locks: BTreeSet<String>,
+    /// Deduplicated may-hold-while-acquiring edges.
+    pub edges: Vec<LockEdge>,
+    /// Strongly-connected lock groups (potential deadlocks).
+    pub cycles: Vec<Vec<String>>,
+    /// Cycle diagnostics plus `RwLock` acquisitions outside the wrapper.
+    pub violations: Vec<Diagnostic>,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// A file flattened to `(char, 0-based line)` for cross-line matching.
+struct Flat<'a> {
+    chars: Vec<(char, usize)>,
+    file: &'a SourceFile,
+}
+
+impl<'a> Flat<'a> {
+    fn new(file: &'a SourceFile) -> Self {
+        let mut chars = Vec::new();
+        for (li, line) in file.code.iter().enumerate() {
+            for ch in line.chars() {
+                chars.push((ch, li));
+            }
+            chars.push(('\n', li));
+        }
+        Flat { chars, file }
+    }
+
+    fn text_eq(&self, at: usize, needle: &str) -> bool {
+        needle
+            .chars()
+            .enumerate()
+            .all(|(o, nc)| self.chars.get(at + o).map(|&(c, _)| c) == Some(nc))
+    }
+
+    fn line_of(&self, at: usize) -> usize {
+        self.chars
+            .get(at.min(self.chars.len().saturating_sub(1)))
+            .map_or(0, |&(_, l)| l)
+    }
+
+    /// Reads the identifier ending at `end` (exclusive), returning it and
+    /// its start index.
+    fn ident_ending_at(&self, end: usize) -> Option<(String, usize)> {
+        let mut start = end;
+        while start > 0 && is_ident(self.chars[start - 1].0) {
+            start -= 1;
+        }
+        if start == end {
+            return None;
+        }
+        let name: String = self.chars[start..end].iter().map(|&(c, _)| c).collect();
+        Some((name, start))
+    }
+}
+
+/// One extracted function.
+struct Func {
+    name: String,
+    /// The `impl` type the function belongs to, when any.
+    owner: Option<String>,
+    /// True when the return type names a guard (`MutexGuard`, `RwLock…Guard`).
+    returns_guard: bool,
+    /// Body span in the flat stream (inside the braces), if any.
+    body: Option<(usize, usize)>,
+    file_idx: usize,
+}
+
+/// An event inside a function body, ordered by position.
+enum Event {
+    /// Acquisition of a known lock; `binder` is the `let` name when the
+    /// guard is bound, `op` distinguishes `.read()`/`.write()` for the
+    /// wrapper-enforcement check.
+    Acquire {
+        lock: String,
+        binder: Option<String>,
+        op: &'static str,
+        depth: i32,
+        pos: usize,
+    },
+    /// Call resolved to one or more qualified workspace functions
+    /// (`Owner::name`, or `::name` for free functions).
+    Call {
+        callees: Vec<String>,
+        binder: Option<String>,
+        depth: i32,
+        pos: usize,
+    },
+    /// `drop(name)`.
+    Drop { name: String, pos: usize },
+    /// A `}` returning the body to `depth`: guards bound deeper die here.
+    ScopeEnd { depth: i32, pos: usize },
+}
+
+impl Event {
+    fn pos(&self) -> usize {
+        match self {
+            Event::Acquire { pos, .. }
+            | Event::Call { pos, .. }
+            | Event::Drop { pos, .. }
+            | Event::ScopeEnd { pos, .. } => *pos,
+        }
+    }
+}
+
+/// Name-resolution context shared by every body scan.
+struct Resolver {
+    /// Every defined function, as a qualified `Owner::name` / `::name` key —
+    /// summaries are per *method of a type*, never merged across types that
+    /// happen to share a method name.
+    defined: BTreeSet<String>,
+    /// Receiver identifier → candidate types, from `name: Type` annotations.
+    field_types: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// The qualified summary key of one function.
+fn qualify(owner: Option<&str>, name: &str) -> String {
+    format!("{}::{name}", owner.unwrap_or_default())
+}
+
+impl Resolver {
+    /// Resolves a call site to the qualified workspace functions it may
+    /// reach (empty when it is std/foreign code).
+    fn resolve(
+        &self,
+        name: &str,
+        receiver: Option<&str>,
+        path_type: Option<&str>,
+        current_owner: Option<&str>,
+    ) -> Vec<String> {
+        let one = |q: String| -> Vec<String> {
+            if self.defined.contains(&q) {
+                vec![q]
+            } else {
+                Vec::new()
+            }
+        };
+        match (receiver, path_type) {
+            // `self.f(…)` / `Self::f(…)`: the enclosing impl's own method.
+            (Some("self"), _) | (_, Some("Self")) => one(qualify(current_owner, name)),
+            // `recv.f(…)`: every candidate type of `recv` that owns an `f`.
+            (Some(recv), _) => self
+                .field_types
+                .get(recv)
+                .into_iter()
+                .flatten()
+                .map(|ty| qualify(Some(ty), name))
+                .filter(|q| self.defined.contains(q))
+                .collect(),
+            // `Type::f(…)`: the named type must own `f`.
+            (None, Some(ty)) => one(qualify(Some(ty), name)),
+            // Bare `f(…)`: only true free functions.
+            (None, None) => one(qualify(None, name)),
+        }
+    }
+}
+
+/// Runs the analysis over `files` (typically one crate's sources, or a
+/// fixture).  `enforce_wrapper` rejects `.read()`/`.write()` on known locks
+/// outside `sync.rs`, mirroring the `.lock()` rule in [`crate::rules`].
+#[must_use]
+pub fn analyze(files: &[&SourceFile], enforce_wrapper: bool) -> LockAnalysis {
+    let flats: Vec<Flat<'_>> = files.iter().map(|f| Flat::new(f)).collect();
+    let locks = collect_locks(&flats);
+    let funcs = collect_funcs(&flats);
+    let resolver = build_resolver(&flats, &funcs);
+
+    // Per-function direct acquisitions and calls, merged by function name.
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut calls: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut wrappers: BTreeSet<String> = BTreeSet::new();
+    let mut events_per_fn: Vec<(usize, Vec<Event>)> = Vec::new();
+
+    let mut analysis = LockAnalysis {
+        locks: locks.clone(),
+        ..LockAnalysis::default()
+    };
+
+    for (fi, func) in funcs.iter().enumerate() {
+        let qname = qualify(func.owner.as_deref(), &func.name);
+        if func.returns_guard {
+            wrappers.insert(qname.clone());
+        }
+        let Some((b0, b1)) = func.body else { continue };
+        let flat = &flats[func.file_idx];
+        let events = extract_events(flat, b0, b1, &locks, &resolver, func.owner.as_deref());
+        let d = direct.entry(qname.clone()).or_default();
+        let c = calls.entry(qname.clone()).or_default();
+        for ev in &events {
+            match ev {
+                Event::Acquire { lock, op, pos, .. } => {
+                    d.insert(lock.clone());
+                    if enforce_wrapper
+                        && (*op == ".read()" || *op == ".write()")
+                        && !flat.file.rel_path.ends_with("sync.rs")
+                    {
+                        analysis.violations.push(Diagnostic {
+                            rule: "lock-unwrap",
+                            file: flat.file.rel_path.clone(),
+                            line: flat.line_of(*pos) + 1,
+                            message: format!(
+                                "bare {op} on lock `{lock}`; acquire through a \
+                                 poison-propagating wrapper in sync.rs"
+                            ),
+                        });
+                    }
+                }
+                Event::Call { callees, .. } => {
+                    c.extend(callees.iter().cloned());
+                }
+                Event::Drop { .. } | Event::ScopeEnd { .. } => {}
+            }
+        }
+        events_per_fn.push((fi, events));
+    }
+
+    // Fixpoint: what does each function transitively acquire?
+    let mut summary: BTreeMap<String, BTreeSet<String>> = direct.clone();
+    loop {
+        let mut changed = false;
+        let snapshot = summary.clone();
+        for (name, callees) in &calls {
+            let mut acc = snapshot.get(name).cloned().unwrap_or_default();
+            for callee in callees {
+                if let Some(s) = snapshot.get(callee) {
+                    for l in s {
+                        changed |= acc.insert(l.clone());
+                    }
+                }
+            }
+            summary.insert(name.clone(), acc);
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    if std::env::var("DETLINT_DEBUG").is_ok() {
+        for (name, s) in &summary {
+            if s.contains("deques") {
+                eprintln!("SUMMARY {name}: {s:?} calls={:?}", calls.get(name));
+            }
+        }
+    }
+    // Edge generation: replay each function's events with a held-set.
+    let mut seen_edges: BTreeSet<(String, String)> = BTreeSet::new();
+    for (fi, events) in &events_per_fn {
+        let func = &funcs[*fi];
+        let flat = &flats[func.file_idx];
+        let mut held: Vec<(String, Option<String>, i32)> = Vec::new();
+        for ev in events {
+            match ev {
+                Event::Acquire {
+                    lock,
+                    binder,
+                    depth,
+                    pos,
+                    ..
+                } => {
+                    for (h, _, _) in &held {
+                        push_edge(&mut analysis.edges, &mut seen_edges, h, lock, flat, *pos);
+                    }
+                    if binder.is_some() {
+                        held.push((lock.clone(), binder.clone(), *depth));
+                    }
+                }
+                Event::Call {
+                    callees,
+                    binder,
+                    depth,
+                    pos,
+                } => {
+                    for callee in callees {
+                        let Some(inner) = summary.get(callee) else {
+                            continue;
+                        };
+                        for l in inner {
+                            for (h, _, _) in &held {
+                                push_edge(&mut analysis.edges, &mut seen_edges, h, l, flat, *pos);
+                            }
+                        }
+                        if wrappers.contains(callee) && binder.is_some() {
+                            for l in inner {
+                                held.push((l.clone(), binder.clone(), *depth));
+                            }
+                        }
+                    }
+                }
+                Event::Drop { name, .. } => {
+                    held.retain(|(_, b, _)| b.as_deref() != Some(name.as_str()));
+                }
+                Event::ScopeEnd { depth, .. } => {
+                    held.retain(|(_, _, d)| d <= depth);
+                }
+            }
+        }
+    }
+
+    // Cycle detection: strongly connected components of the edge digraph
+    // (a self-loop is a one-node cycle).
+    analysis.cycles = find_cycles(&analysis.edges);
+    for cycle in &analysis.cycles {
+        let anchor = analysis
+            .edges
+            .iter()
+            .find(|e| cycle.contains(&e.from) && cycle.contains(&e.to));
+        let (file, line) = anchor.map_or_else(
+            || (String::from("<unknown>"), 0),
+            |e| (e.file.clone(), e.line),
+        );
+        analysis.violations.push(Diagnostic {
+            rule: "lock-discipline",
+            file,
+            line,
+            message: format!(
+                "lock-order cycle: {} — two threads interleaving these \
+                 acquisitions can deadlock; impose a single order",
+                cycle.join(" -> ")
+            ),
+        });
+    }
+    analysis
+}
+
+fn push_edge(
+    edges: &mut Vec<LockEdge>,
+    seen: &mut BTreeSet<(String, String)>,
+    from: &str,
+    to: &str,
+    flat: &Flat<'_>,
+    pos: usize,
+) {
+    if seen.insert((from.to_string(), to.to_string())) {
+        edges.push(LockEdge {
+            from: from.to_string(),
+            to: to.to_string(),
+            file: flat.file.rel_path.clone(),
+            line: flat.line_of(pos) + 1,
+        });
+    }
+}
+
+/// Collects lock identities from field/binding declarations.
+fn collect_locks(flats: &[Flat<'_>]) -> BTreeSet<String> {
+    let mut locks = BTreeSet::new();
+    for flat in flats {
+        for (li, line) in flat.file.code.iter().enumerate() {
+            if !flat.file.is_lintable(li) {
+                continue;
+            }
+            for token in ["Mutex<", "RwLock<", "Mutex::new(", "RwLock::new("] {
+                let mut from = 0;
+                while let Some(off) = line[from..].find(token) {
+                    let at = from + off;
+                    let boundary_ok =
+                        at == 0 || !line[..at].chars().next_back().is_some_and(is_ident);
+                    if boundary_ok {
+                        if let Some(name) = declared_name(&line[..at]) {
+                            locks.insert(name);
+                        }
+                    }
+                    from = at + token.len();
+                }
+            }
+        }
+    }
+    locks
+}
+
+/// Given the text left of a `Mutex<`/`Mutex::new(` occurrence, finds the
+/// declared field (`name: … Mutex<…>`) or binding (`let name = Mutex::new`).
+fn declared_name(prefix: &str) -> Option<String> {
+    // Field form: identifier before the last `:` (tolerating wrapper types
+    // like `Vec<` in between).
+    if let Some(colon) = prefix.rfind(':') {
+        let between = &prefix[colon + 1..];
+        if between
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || " \t<>,&_:".contains(c))
+            && !prefix[..colon].ends_with(':')
+        {
+            let name: String = prefix[..colon]
+                .chars()
+                .rev()
+                .take_while(|&c| is_ident(c))
+                .collect::<String>()
+                .chars()
+                .rev()
+                .collect();
+            if !name.is_empty() {
+                return Some(name);
+            }
+        }
+    }
+    // Binding form: `let [mut] name =`.
+    let trimmed = prefix.trim_end();
+    let eq = trimmed.strip_suffix('=')?.trim_end();
+    let name: String = eq
+        .chars()
+        .rev()
+        .take_while(|&c| is_ident(c))
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    if name.is_empty() || name == "mut" {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Extracts every `impl` block's type name and body span for one file.
+fn collect_impls(flat: &Flat<'_>) -> Vec<(usize, usize, String)> {
+    let chars = &flat.chars;
+    let n = chars.len();
+    let mut impls = Vec::new();
+    let mut i = 0;
+    while i + 4 < n {
+        let boundary = i == 0 || !is_ident(chars[i - 1].0);
+        let after_ok = chars.get(i + 4).is_none_or(|&(c, _)| !is_ident(c));
+        if !(boundary && flat.text_eq(i, "impl") && after_ok) {
+            i += 1;
+            continue;
+        }
+        // Header runs to the first `{` outside any paren/bracket group.
+        let mut j = i + 4;
+        let mut paren = 0i32;
+        while j < n {
+            match chars[j].0 {
+                '(' | '[' => paren += 1,
+                ')' | ']' => paren -= 1,
+                '{' if paren == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= n {
+            break;
+        }
+        let header: String = chars[i + 4..j].iter().map(|&(c, _)| c).collect();
+        // `impl Trait for Type` names `Type`; plain `impl Type` names `Type`.
+        let target = match header.rfind(" for ") {
+            Some(at) => &header[at + 5..],
+            None => {
+                // Skip a leading generic parameter list.
+                let t = header.trim_start();
+                if let Some(rest) = t.strip_prefix('<') {
+                    let mut depth = 1i32;
+                    let mut cut = rest.len();
+                    for (k, c) in rest.char_indices() {
+                        match c {
+                            '<' => depth += 1,
+                            '>' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    cut = k + 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    &rest[cut.min(rest.len())..]
+                } else {
+                    t
+                }
+            }
+        };
+        let ty: String = target
+            .trim_start_matches(|c: char| !is_ident(c))
+            .chars()
+            .take_while(|&c| is_ident(c))
+            .collect();
+        // Body span via brace matching.
+        let open = j;
+        let mut depth = 0i32;
+        while j < n {
+            match chars[j].0 {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if !ty.is_empty() {
+            impls.push((open, j.min(n), ty));
+        }
+        i = open + 1;
+    }
+    impls
+}
+
+/// Builds the call-resolution context: qualified function names from `impl`
+/// blocks, and receiver-type candidates from annotations.
+fn build_resolver(flats: &[Flat<'_>], funcs: &[Func]) -> Resolver {
+    let defined: BTreeSet<String> = funcs
+        .iter()
+        .map(|f| qualify(f.owner.as_deref(), &f.name))
+        .collect();
+
+    // `name: … Type …` annotations (struct fields, fn parameters): map the
+    // identifier to every capitalised type ident right of the colon.
+    let mut field_types: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for flat in flats {
+        for line in &flat.file.code {
+            let bytes: Vec<char> = line.chars().collect();
+            for (at, &c) in bytes.iter().enumerate() {
+                if c != ':' {
+                    continue;
+                }
+                // Skip `::` paths and loop labels.
+                if bytes.get(at + 1) == Some(&':') || (at > 0 && bytes[at - 1] == ':') {
+                    continue;
+                }
+                let mut s = at;
+                while s > 0 && is_ident(bytes[s - 1]) {
+                    s -= 1;
+                }
+                if s == at || (s > 0 && bytes[s - 1] == '\'') {
+                    continue;
+                }
+                let name: String = bytes[s..at].iter().collect();
+                // Right side until a declaration terminator.
+                let rhs: String = bytes[at + 1..]
+                    .iter()
+                    .take_while(|&&c| !",){;=".contains(c))
+                    .collect();
+                let mut k = 0;
+                let rchars: Vec<char> = rhs.chars().collect();
+                while k < rchars.len() {
+                    if rchars[k].is_ascii_uppercase() && (k == 0 || !is_ident(rchars[k - 1])) {
+                        let ty: String = rchars[k..].iter().take_while(|&&c| is_ident(c)).collect();
+                        k += ty.len();
+                        field_types.entry(name.clone()).or_default().insert(ty);
+                    } else {
+                        k += 1;
+                    }
+                }
+            }
+        }
+    }
+    Resolver {
+        defined,
+        field_types,
+    }
+}
+
+/// Extracts every function (name, owner impl, guard-returning flag, body
+/// span).
+fn collect_funcs(flats: &[Flat<'_>]) -> Vec<Func> {
+    let mut funcs = Vec::new();
+    for (file_idx, flat) in flats.iter().enumerate() {
+        let impls = collect_impls(flat);
+        let chars = &flat.chars;
+        let n = chars.len();
+        let mut i = 0;
+        while i + 1 < n {
+            let boundary = i == 0 || !is_ident(chars[i - 1].0);
+            if !(boundary
+                && chars[i].0 == 'f'
+                && chars[i + 1].0 == 'n'
+                && chars.get(i + 2).is_some_and(|&(c, _)| c.is_whitespace()))
+            {
+                i += 1;
+                continue;
+            }
+            // Name.
+            let mut j = i + 2;
+            while j < n && chars[j].0.is_whitespace() {
+                j += 1;
+            }
+            let name_start = j;
+            while j < n && is_ident(chars[j].0) {
+                j += 1;
+            }
+            if j == name_start {
+                i += 2;
+                continue;
+            }
+            let name: String = chars[name_start..j].iter().map(|&(c, _)| c).collect();
+            let owner = impls
+                .iter()
+                .find(|&&(b0, b1, _)| name_start > b0 && name_start < b1)
+                .map(|(_, _, ty)| ty.clone());
+            // Optional generics.
+            while j < n && chars[j].0.is_whitespace() {
+                j += 1;
+            }
+            if j < n && chars[j].0 == '<' {
+                let mut depth = 0i32;
+                while j < n {
+                    match chars[j].0 {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            // Parameter list.
+            while j < n && chars[j].0 != '(' {
+                j += 1;
+            }
+            let mut depth = 0i32;
+            while j < n {
+                match chars[j].0 {
+                    '(' => depth += 1,
+                    ')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            // Signature tail up to `{` (body) or `;` (declaration).
+            let tail_start = j;
+            let mut paren = 0i32;
+            while j < n {
+                match chars[j].0 {
+                    '(' | '[' => paren += 1,
+                    ')' | ']' => paren -= 1,
+                    '{' | ';' if paren == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            let tail: String = chars[tail_start..j.min(n)]
+                .iter()
+                .map(|&(c, _)| c)
+                .collect();
+            let returns_guard = tail.contains("Guard");
+            let body = if j < n && chars[j].0 == '{' {
+                let open = j;
+                let mut bd = 0i32;
+                while j < n {
+                    match chars[j].0 {
+                        '{' => bd += 1,
+                        '}' => {
+                            bd -= 1;
+                            if bd == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                Some((open + 1, j.min(n)))
+            } else {
+                None
+            };
+            funcs.push(Func {
+                name,
+                owner,
+                returns_guard,
+                body,
+                file_idx,
+            });
+            // Continue scanning *inside* the body too (nested fns, and the
+            // outer loop position must advance past the header only).
+            i = tail_start;
+        }
+    }
+    funcs
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "loop", "return", "fn", "let", "move", "in", "else", "unsafe",
+];
+
+/// Extracts ordered acquisition / call / drop / scope events from a body
+/// span.
+fn extract_events(
+    flat: &Flat<'_>,
+    b0: usize,
+    b1: usize,
+    locks: &BTreeSet<String>,
+    resolver: &Resolver,
+    owner: Option<&str>,
+) -> Vec<Event> {
+    let chars = &flat.chars;
+    let mut events = Vec::new();
+    // Brace depth at each body position, plus a ScopeEnd per `}`.
+    let mut depth_at = vec![0i32; b1.saturating_sub(b0)];
+    let mut cur = 0i32;
+    for (off, slot) in depth_at.iter_mut().enumerate() {
+        match chars[b0 + off].0 {
+            '{' => {
+                *slot = cur;
+                cur += 1;
+            }
+            '}' => {
+                cur -= 1;
+                *slot = cur;
+                events.push(Event::ScopeEnd {
+                    depth: cur,
+                    pos: b0 + off,
+                });
+            }
+            _ => *slot = cur,
+        }
+    }
+    let depth_of = |pos: usize| depth_at.get(pos - b0).copied().unwrap_or(0);
+    // Acquisition ops on known-lock receivers.
+    for op in [".plock(", ".lock()", ".read()", ".write()"] {
+        let mut i = b0;
+        while i + op.len() <= b1 {
+            if !flat.text_eq(i, op) {
+                i += 1;
+                continue;
+            }
+            if let Some((recv, recv_start)) = receiver_ident(flat, i) {
+                if locks.contains(&recv) {
+                    let binder = binding_name(flat, b0, recv_start);
+                    events.push(Event::Acquire {
+                        lock: recv,
+                        binder,
+                        op,
+                        depth: depth_of(i),
+                        pos: i,
+                    });
+                }
+            }
+            i += op.len();
+        }
+    }
+    // Calls and drops.
+    let mut i = b0;
+    while i < b1 {
+        if !is_ident(chars[i].0) || (i > 0 && is_ident(chars[i - 1].0)) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < b1 && is_ident(chars[i].0) {
+            i += 1;
+        }
+        let name: String = chars[start..i].iter().map(|&(c, _)| c).collect();
+        // A call site: identifier directly followed by `(` (no macro `!`).
+        if chars.get(i).map(|&(c, _)| c) != Some('(') {
+            continue;
+        }
+        if name == "drop" {
+            if let Some((arg, _)) = first_arg_ident(flat, i) {
+                events.push(Event::Drop {
+                    name: arg,
+                    pos: start,
+                });
+            }
+            continue;
+        }
+        if KEYWORDS.contains(&name.as_str()) {
+            continue;
+        }
+        // Acquisition-shaped sites are acquisition events, never calls.
+        let prev = (start > 0).then(|| chars[start - 1].0);
+        if prev == Some('.') {
+            let empty_args = chars.get(i + 1).map(|&(c, _)| c) == Some(')');
+            if name == "plock" || (empty_args && matches!(name.as_str(), "lock" | "read" | "write"))
+            {
+                continue;
+            }
+        }
+        let (receiver, path_type) = match prev {
+            Some('.') => (receiver_ident(flat, start - 1).map(|(r, _)| r), None),
+            Some(':') if start >= 2 && chars[start - 2].0 == ':' => {
+                (None, flat.ident_ending_at(start - 2).map(|(t, _)| t))
+            }
+            _ => (None, None),
+        };
+        let callees = resolver.resolve(&name, receiver.as_deref(), path_type.as_deref(), owner);
+        if callees.is_empty() {
+            continue;
+        }
+        let binder = binding_name(flat, b0, start);
+        events.push(Event::Call {
+            callees,
+            binder,
+            depth: depth_of(start),
+            pos: start,
+        });
+    }
+    events.sort_by_key(Event::pos);
+    events
+}
+
+/// Walks the receiver chain left of the `.` at `dot`: skips one optional
+/// `[…]` index group, then reads the field identifier.
+fn receiver_ident(flat: &Flat<'_>, dot: usize) -> Option<(String, usize)> {
+    let chars = &flat.chars;
+    let mut k = dot;
+    while k > 0 && chars[k - 1].0.is_whitespace() {
+        k -= 1;
+    }
+    if k > 0 && chars[k - 1].0 == ']' {
+        let mut depth = 0i32;
+        while k > 0 {
+            k -= 1;
+            match chars[k].0 {
+                ']' => depth += 1,
+                '[' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    flat.ident_ending_at(k)
+}
+
+/// Reads the identifier of `drop(x)`'s argument.
+fn first_arg_ident(flat: &Flat<'_>, open: usize) -> Option<(String, usize)> {
+    let chars = &flat.chars;
+    let mut i = open + 1;
+    while i < chars.len() && (chars[i].0.is_whitespace() || chars[i].0 == '&') {
+        i += 1;
+    }
+    let start = i;
+    while i < chars.len() && is_ident(chars[i].0) {
+        i += 1;
+    }
+    if i > start && chars.get(i).map(|&(c, _)| c) == Some(')') {
+        let name: String = chars[start..i].iter().map(|&(c, _)| c).collect();
+        Some((name, start))
+    } else {
+        None
+    }
+}
+
+/// If the event starting at `ev_start` is the direct right-hand side of a
+/// plain `let [mut] name = <receiver chain>…` in the same statement, returns
+/// `name`.  Anything non-trivial between `=` and the event (closures, calls,
+/// tuple patterns) disqualifies the binding — the guard is then treated as a
+/// temporary, which can only under-approximate the held set.
+fn binding_name(flat: &Flat<'_>, body_start: usize, ev_start: usize) -> Option<String> {
+    let chars = &flat.chars;
+    let mut q = ev_start;
+    while q > body_start {
+        let c = chars[q - 1].0;
+        if c == ';' || c == '{' || c == '}' {
+            break;
+        }
+        q -= 1;
+    }
+    let stmt: String = chars[q..ev_start].iter().map(|&(c, _)| c).collect();
+    let let_pos = stmt.find("let ")?;
+    let after_let = stmt[let_pos + 4..].trim_start();
+    let after_let = after_let
+        .strip_prefix("mut ")
+        .unwrap_or(after_let)
+        .trim_start();
+    let name: String = after_let.chars().take_while(|&c| is_ident(c)).collect();
+    if name.is_empty() {
+        return None;
+    }
+    let eq_rel = after_let.find('=')?;
+    // Purity check: only a receiver chain may sit between `=` and the event.
+    let between = &after_let[eq_rel + 1..];
+    if between
+        .chars()
+        .all(|c| is_ident(c) || c.is_whitespace() || ".&*[]".contains(c))
+    {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+/// Strongly connected components with ≥2 nodes, plus self-loop nodes.
+fn find_cycles(edges: &[LockEdge]) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    for e in edges {
+        adj.entry(&e.from).or_default().insert(&e.to);
+        nodes.insert(&e.from);
+        nodes.insert(&e.to);
+    }
+    let reachable = |from: &str, to: &str| -> bool {
+        let mut stack = vec![from];
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        while let Some(n) = stack.pop() {
+            for &next in adj.get(n).into_iter().flatten() {
+                if next == to {
+                    return true;
+                }
+                if seen.insert(next) {
+                    stack.push(next);
+                }
+            }
+        }
+        false
+    };
+    let mut cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    for &n in &nodes {
+        if reachable(n, n) {
+            // Canonical cycle: every node on some loop through `n`.
+            let members: Vec<String> = nodes
+                .iter()
+                .filter(|&&m| (m == n) || (reachable(n, m) && reachable(m, n)))
+                .map(|&m| m.to_string())
+                .collect();
+            cycles.insert(members);
+        }
+    }
+    cycles.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::from_text(src, "t.rs", "t")
+    }
+
+    #[test]
+    fn declared_names() {
+        assert_eq!(declared_name("    control: "), Some("control".into()));
+        assert_eq!(declared_name("    deques: Vec<"), Some("deques".into()));
+        assert_eq!(declared_name("let m = "), Some("m".into()));
+        assert_eq!(declared_name("use std::sync::"), None);
+    }
+
+    #[test]
+    fn cycle_detected_between_two_locks() {
+        let src = "
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn f(&self) { let ga = self.a.plock(\"a\"); let gb = self.b.plock(\"b\"); }
+    fn g(&self) { let gb = self.b.plock(\"b\"); let ga = self.a.plock(\"a\"); }
+}
+";
+        let f = file(src);
+        let analysis = analyze(&[&f], false);
+        assert_eq!(analysis.locks.len(), 2);
+        assert_eq!(analysis.cycles.len(), 1);
+        assert_eq!(analysis.cycles[0], vec!["a".to_string(), "b".to_string()]);
+        assert!(!analysis.violations.is_empty());
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn f(&self) { let ga = self.a.plock(\"a\"); let gb = self.b.plock(\"b\"); }
+    fn g(&self) { let ga = self.a.plock(\"a\"); let gb = self.b.plock(\"b\"); }
+}
+";
+        let analysis = analyze(&[&file(src)], false);
+        assert_eq!(analysis.edges.len(), 1);
+        assert!(analysis.cycles.is_empty());
+        assert!(analysis.violations.is_empty());
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let src = "
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn f(&self) { let ga = self.a.plock(\"a\"); drop(ga); let gb = self.b.plock(\"b\"); }
+    fn g(&self) { let gb = self.b.plock(\"b\"); let ga = self.a.plock(\"a\"); }
+}
+";
+        let analysis = analyze(&[&file(src)], false);
+        // Only b -> a remains; no cycle.
+        assert_eq!(analysis.edges.len(), 1);
+        assert_eq!(analysis.edges[0].from, "b");
+        assert!(analysis.cycles.is_empty());
+    }
+
+    #[test]
+    fn scope_end_releases_the_guard() {
+        // The deposit pattern: a guard bound inside a `{ … }` expression
+        // block dies at the block's end, so re-locking afterwards is not a
+        // self-deadlock.
+        let src = "
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn f(&self) {
+        let x = { let ga = self.a.plock(\"a\"); 1 };
+        let gb = self.b.plock(\"b\");
+        let ga2 = self.a.plock(\"a\");
+    }
+}
+";
+        let analysis = analyze(&[&file(src)], false);
+        // Only b -> a (second block); `ga` died before `gb` was taken.
+        assert_eq!(analysis.edges.len(), 1);
+        assert_eq!(
+            (
+                analysis.edges[0].from.as_str(),
+                analysis.edges[0].to.as_str()
+            ),
+            ("b", "a")
+        );
+        assert!(analysis.cycles.is_empty());
+    }
+
+    #[test]
+    fn transitive_acquisition_through_calls() {
+        let src = "
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn helper(&self) { let gb = self.b.plock(\"b\"); }
+    fn f(&self) { let ga = self.a.plock(\"a\"); self.helper(); }
+}
+";
+        let analysis = analyze(&[&file(src)], false);
+        assert!(analysis.edges.iter().any(|e| e.from == "a" && e.to == "b"));
+    }
+
+    #[test]
+    fn temporaries_in_closures_do_not_hold() {
+        // The snapshot pattern from StealDeques::steal: a temporary guard
+        // inside an iterator closure must not count as held.
+        let src = "
+struct S { deques: Vec<Mutex<u32>> }
+impl S {
+    fn steal(&self) {
+        let victims: Vec<u32> = (0..3).map(|v| *self.deques[v].plock(\"d\")).collect();
+        let g = self.deques[0].plock(\"d\");
+    }
+}
+";
+        let analysis = analyze(&[&file(src)], false);
+        assert!(analysis.edges.is_empty());
+        assert!(analysis.cycles.is_empty());
+    }
+
+    #[test]
+    fn wrapper_functions_hold_when_bound() {
+        let src = "
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn lock_a(&self) -> MutexGuard<'_, u32> { self.a.plock(\"a\") }
+    fn f(&self) { let ga = self.lock_a(); let gb = self.b.plock(\"b\"); }
+    fn g(&self) { let gb = self.b.plock(\"b\"); let ga = self.lock_a(); }
+}
+";
+        let analysis = analyze(&[&file(src)], false);
+        assert!(analysis.edges.iter().any(|e| e.from == "a" && e.to == "b"));
+        assert!(analysis.edges.iter().any(|e| e.from == "b" && e.to == "a"));
+        assert_eq!(analysis.cycles.len(), 1);
+    }
+
+    #[test]
+    fn std_method_names_do_not_alias_workspace_methods() {
+        // `items.push(…)` must not resolve to `W::push` just because the
+        // names match; `self.w.push()` must, because `w`'s declared type
+        // owns a `push`.
+        let src = "
+struct W { b: Mutex<u32> }
+impl W {
+    fn push(&self) { let gb = self.b.plock(\"b\"); }
+}
+struct S { a: Mutex<u32>, w: W, items: Vec<u32> }
+impl S {
+    fn f(&mut self) { let ga = self.a.plock(\"a\"); self.items.push(1); }
+    fn g(&self) { let ga = self.a.plock(\"a\"); self.w.push(); }
+}
+";
+        let analysis = analyze(&[&file(src)], false);
+        assert_eq!(analysis.edges.len(), 1);
+        assert_eq!(
+            (
+                analysis.edges[0].from.as_str(),
+                analysis.edges[0].to.as_str()
+            ),
+            ("a", "b")
+        );
+        assert!(analysis.cycles.is_empty());
+    }
+
+    #[test]
+    fn plock_sites_are_not_calls_into_lock_helpers() {
+        // The PoisonLock pattern: `plock`'s body uses std's argument-less
+        // `.lock()`, and a deque helper is named `lock`.  Neither may make
+        // `self.a.plock(…)` look like a deque acquisition.
+        let src = "
+struct D { deques: Vec<Mutex<u32>> }
+impl D {
+    fn lock(&self, w: usize) -> MutexGuard<'_, u32> { self.deques[w].plock(\"d\") }
+}
+impl<T> PoisonLock<T> for Mutex<T> {
+    fn plock(&self, what: &'static str) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(|_| panic!(\"{what}\"))
+    }
+}
+struct S { a: Mutex<u32> }
+impl S {
+    fn f(&self) { let ga = self.a.plock(\"a\"); let gb = self.a.plock(\"a\"); }
+}
+";
+        let analysis = analyze(&[&file(src)], false);
+        // The only legitimate edge is a -> a from f's double-acquire; no
+        // `deques` edges may appear.
+        assert!(analysis.edges.iter().all(|e| e.from == "a" && e.to == "a"));
+    }
+}

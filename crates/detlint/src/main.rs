@@ -1,0 +1,104 @@
+//! CLI: `cargo run -p detlint -- <check|budget|graph> [--root DIR]
+//! [--json FILE] [--budget FILE]`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map_or("check", String::as_str);
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let root = flag("--root").map_or_else(detlint::default_root, PathBuf::from);
+    let budget_path =
+        flag("--budget").map_or_else(|| root.join(detlint::BUDGET_FILE), PathBuf::from);
+
+    match command {
+        "check" => {
+            let report = match detlint::check_workspace(&root, &budget_path) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("detlint: failed to scan {}: {e}", root.display());
+                    return ExitCode::from(2);
+                }
+            };
+            // `--json FILE` writes the machine-readable report; a bare
+            // `--json` prints it to stdout instead of the human text.
+            match flag("--json").filter(|v| !v.starts_with("--")) {
+                Some(json_path) => {
+                    if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+                        eprintln!("detlint: failed to write {json_path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                    print!("{}", report.human());
+                }
+                None if args.iter().any(|a| a == "--json") => {
+                    println!("{}", report.to_json());
+                }
+                None => print!("{}", report.human()),
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "budget" => {
+            let files = match detlint::load_workspace(&root) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("detlint: failed to scan {}: {e}", root.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let counts = detlint::panics::count_workspace(&files);
+            let rendered = detlint::panics::render_budget(&counts);
+            if let Err(e) = std::fs::write(&budget_path, &rendered) {
+                eprintln!("detlint: failed to write {}: {e}", budget_path.display());
+                return ExitCode::from(2);
+            }
+            print!("{rendered}");
+            println!("detlint: wrote {}", budget_path.display());
+            ExitCode::SUCCESS
+        }
+        "graph" => {
+            let files = match detlint::load_workspace(&root) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("detlint: failed to scan {}: {e}", root.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let lock_files: Vec<&detlint::source::SourceFile> = files
+                .iter()
+                .filter(|f| detlint::LOCK_CRATES.contains(&f.krate.as_str()))
+                .collect();
+            let analysis = detlint::locks::analyze(&lock_files, false);
+            println!("locks: {:?}", analysis.locks);
+            for e in &analysis.edges {
+                println!(
+                    "{} -> {}   (held while acquiring at {}:{})",
+                    e.from, e.to, e.file, e.line
+                );
+            }
+            for c in &analysis.cycles {
+                println!("CYCLE: {}", c.join(" -> "));
+            }
+            if analysis.cycles.is_empty() {
+                println!("lock graph is acyclic");
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        other => {
+            eprintln!("detlint: unknown command `{other}` (expected check|budget|graph)");
+            ExitCode::from(2)
+        }
+    }
+}

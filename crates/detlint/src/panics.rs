@@ -1,0 +1,258 @@
+//! Panic-path audit: inventory `unwrap` / `expect` / slice-indexing sites in
+//! library code and diff them against a checked-in budget.
+//!
+//! New panic paths are cheap to add and expensive to discover in production;
+//! the budget file (`detlint-budget.txt` at the workspace root) turns every
+//! addition into an explicit review decision.  `cargo run -p detlint --
+//! budget` regenerates the file; CI fails when a crate exceeds its budget
+//! and prints a notice when a budget can be ratcheted down.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::report::Diagnostic;
+use crate::source::SourceFile;
+
+/// Panic-path site counts for one crate's library code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PanicCounts {
+    /// `.unwrap()` call sites.
+    pub unwrap: usize,
+    /// `.expect(` call sites.
+    pub expect: usize,
+    /// Slice/array/map indexing expressions (`x[i]`).
+    pub index: usize,
+}
+
+impl PanicCounts {
+    fn add(&mut self, other: PanicCounts) {
+        self.unwrap += other.unwrap;
+        self.expect += other.expect;
+        self.index += other.index;
+    }
+}
+
+impl fmt::Display for PanicCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unwrap={} expect={} index={}",
+            self.unwrap, self.expect, self.index
+        )
+    }
+}
+
+/// Counts panic paths in one file's non-test code.
+#[must_use]
+pub fn count_file(file: &SourceFile) -> PanicCounts {
+    let mut counts = PanicCounts::default();
+    for (li, line) in file.code.iter().enumerate() {
+        if !file.is_lintable(li) {
+            continue;
+        }
+        counts.unwrap += line.matches(".unwrap()").count();
+        counts.expect += line.matches(".expect(").count();
+        counts.index += index_sites(line);
+    }
+    counts
+}
+
+/// Counts indexing expressions on a code line: a `[` directly preceded by an
+/// identifier character, `)`, or `]` — which excludes attributes (`#[`),
+/// macros (`vec![`), slice types (`&[u8]`) and array literals (`= [1, 2]`).
+fn index_sites(line: &str) -> usize {
+    let chars: Vec<char> = line.chars().collect();
+    chars
+        .iter()
+        .enumerate()
+        .filter(|&(i, &c)| {
+            c == '['
+                && i > 0
+                && (chars[i - 1].is_ascii_alphanumeric()
+                    || chars[i - 1] == '_'
+                    || chars[i - 1] == ')'
+                    || chars[i - 1] == ']')
+        })
+        .count()
+}
+
+/// Aggregates counts per crate, excluding binary targets (`src/bin/`).
+#[must_use]
+pub fn count_workspace(files: &[SourceFile]) -> BTreeMap<String, PanicCounts> {
+    let mut per_crate: BTreeMap<String, PanicCounts> = BTreeMap::new();
+    for file in files {
+        if file.rel_path.contains("/bin/") {
+            continue;
+        }
+        per_crate
+            .entry(file.krate.clone())
+            .or_default()
+            .add(count_file(file));
+    }
+    per_crate
+}
+
+/// Renders the budget file.
+#[must_use]
+pub fn render_budget(counts: &BTreeMap<String, PanicCounts>) -> String {
+    let mut out = String::from(
+        "# detlint panic-path budget — library (non-test, non-bin) code only.\n\
+         # One line per crate: `<crate> unwrap=N expect=N index=N`.\n\
+         # Exceeding a budget fails `detlint check`; regenerate deliberately with\n\
+         #   cargo run -p detlint -- budget\n",
+    );
+    for (krate, c) in counts {
+        out.push_str(&format!("{krate} {c}\n"));
+    }
+    out
+}
+
+/// Parses a budget file; malformed lines are reported as violations.
+#[must_use]
+pub fn parse_budget(
+    text: &str,
+    budget_path: &str,
+) -> (BTreeMap<String, PanicCounts>, Vec<Diagnostic>) {
+    let mut budget = BTreeMap::new();
+    let mut problems = Vec::new();
+    for (li, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let Some(krate) = parts.next() else { continue };
+        let mut counts = PanicCounts::default();
+        let mut ok = true;
+        for kv in parts {
+            match kv
+                .split_once('=')
+                .and_then(|(k, v)| Some((k, v.parse::<usize>().ok()?)))
+            {
+                Some(("unwrap", v)) => counts.unwrap = v,
+                Some(("expect", v)) => counts.expect = v,
+                Some(("index", v)) => counts.index = v,
+                _ => ok = false,
+            }
+        }
+        if ok {
+            budget.insert(krate.to_string(), counts);
+        } else {
+            problems.push(Diagnostic {
+                rule: "panic-budget",
+                file: budget_path.to_string(),
+                line: li + 1,
+                message: format!("malformed budget line: `{line}`"),
+            });
+        }
+    }
+    (budget, problems)
+}
+
+/// Compares measured counts against the budget.  Over budget (or a crate
+/// missing from the budget) is a violation; under budget is a notice.
+pub fn compare(
+    current: &BTreeMap<String, PanicCounts>,
+    budget: &BTreeMap<String, PanicCounts>,
+    budget_path: &str,
+) -> (Vec<Diagnostic>, Vec<String>) {
+    let mut violations = Vec::new();
+    let mut notices = Vec::new();
+    for (krate, cur) in current {
+        let Some(allowed) = budget.get(krate) else {
+            violations.push(Diagnostic {
+                rule: "panic-budget",
+                file: budget_path.to_string(),
+                line: 0,
+                message: format!(
+                    "crate `{krate}` has no panic budget (measured {cur}); \
+                     run `cargo run -p detlint -- budget` and review the diff"
+                ),
+            });
+            continue;
+        };
+        for (what, c, b) in [
+            ("unwrap", cur.unwrap, allowed.unwrap),
+            ("expect", cur.expect, allowed.expect),
+            ("index", cur.index, allowed.index),
+        ] {
+            if c > b {
+                violations.push(Diagnostic {
+                    rule: "panic-budget",
+                    file: budget_path.to_string(),
+                    line: 0,
+                    message: format!(
+                        "crate `{krate}` exceeds its `{what}` budget: {c} > {b}; new panic \
+                         paths need a deliberate budget bump (cargo run -p detlint -- budget)"
+                    ),
+                });
+            } else if c < b {
+                notices.push(format!(
+                    "crate `{krate}` is under its `{what}` budget ({c} < {b}); \
+                     consider ratcheting down with `cargo run -p detlint -- budget`"
+                ));
+            }
+        }
+    }
+    (violations, notices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_heuristic() {
+        assert_eq!(index_sites("let x = arr[i] + map[&k];"), 2);
+        assert_eq!(index_sites("#[derive(Debug)]"), 0);
+        assert_eq!(index_sites("let v = vec![1, 2];"), 0);
+        assert_eq!(index_sites("fn f(x: &[u8]) -> [u8; 4] {"), 0);
+        assert_eq!(index_sites("rows()[idx]"), 1);
+    }
+
+    #[test]
+    fn counts_skip_tests_and_comments() {
+        let src = "fn f() { a.unwrap(); b.expect(\"x\"); }\n\
+                   // c.unwrap()\n\
+                   #[cfg(test)]\nmod t { fn g() { d.unwrap(); } }\n";
+        let f = SourceFile::from_text(src, "t.rs", "t");
+        let c = count_file(&f);
+        assert_eq!((c.unwrap, c.expect, c.index), (1, 1, 0));
+    }
+
+    #[test]
+    fn budget_round_trip_and_compare() {
+        let mut counts = BTreeMap::new();
+        counts.insert(
+            "exec".to_string(),
+            PanicCounts {
+                unwrap: 2,
+                expect: 3,
+                index: 10,
+            },
+        );
+        let text = render_budget(&counts);
+        let (parsed, problems) = parse_budget(&text, "b.txt");
+        assert!(problems.is_empty());
+        assert_eq!(parsed, counts);
+        // Equal: clean.
+        let (v, n) = compare(&counts, &parsed, "b.txt");
+        assert!(v.is_empty() && n.is_empty());
+        // Over: violation.
+        let mut over = counts.clone();
+        over.get_mut("exec").unwrap().unwrap = 5;
+        let (v, _) = compare(&over, &parsed, "b.txt");
+        assert_eq!(v.len(), 1);
+        // Under: notice only.
+        let mut under = counts.clone();
+        under.get_mut("exec").unwrap().index = 1;
+        let (v, n) = compare(&under, &parsed, "b.txt");
+        assert!(v.is_empty());
+        assert_eq!(n.len(), 1);
+        // Unknown crate: violation.
+        let mut extra = counts.clone();
+        extra.insert("newcrate".to_string(), PanicCounts::default());
+        let (v, _) = compare(&extra, &parsed, "b.txt");
+        assert_eq!(v.len(), 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! Diagnostics and the machine-readable report.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::locks::LockEdge;
+use crate::panics::PanicCounts;
+
+/// One finding, anchored to a file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (see [`crate::source::RULES`], plus `bad-allow`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number (0 for whole-file / whole-crate findings).
+    pub line: usize,
+    /// Human explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `file:line: [rule] message` (line elided when 0).
+    #[must_use]
+    pub fn human(&self) -> String {
+        if self.line == 0 {
+            format!("{}: [{}] {}", self.file, self.rule, self.message)
+        } else {
+            format!(
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.rule, self.message
+            )
+        }
+    }
+}
+
+/// A suppressed finding: the diagnostic plus the allowlist justification.
+#[derive(Debug, Clone)]
+pub struct Allowed {
+    /// The finding that would have fired.
+    pub diagnostic: Diagnostic,
+    /// The `reason = "..."` recorded at the site.
+    pub reason: String,
+}
+
+/// Everything one `detlint check` run produced.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Hard failures (non-empty ⇒ exit 1).
+    pub violations: Vec<Diagnostic>,
+    /// Findings suppressed by a `detlint: allow(...)` directive.
+    pub allowed: Vec<Allowed>,
+    /// May-hold-while-acquiring lock graph (deduplicated).
+    pub lock_edges: Vec<LockEdge>,
+    /// Lock-order cycles found in the graph (also reported as violations).
+    pub lock_cycles: Vec<Vec<String>>,
+    /// Per-crate panic-path inventory.
+    pub panic_counts: BTreeMap<String, PanicCounts>,
+    /// Non-fatal notes (e.g. a panic budget that can be ratcheted down).
+    pub notices: Vec<String>,
+}
+
+impl Report {
+    /// True when the run found no violations.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Renders the human-readable summary.
+    #[must_use]
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = writeln!(out, "error: {}", v.human());
+        }
+        for a in &self.allowed {
+            let _ = writeln!(
+                out,
+                "allowed: {} (reason: {})",
+                a.diagnostic.human(),
+                a.reason
+            );
+        }
+        for n in &self.notices {
+            let _ = writeln!(out, "note: {n}");
+        }
+        let _ = writeln!(
+            out,
+            "detlint: {} violation(s), {} allowlisted, {} lock edge(s), {} cycle(s)",
+            self.violations.len(),
+            self.allowed.len(),
+            self.lock_edges.len(),
+            self.lock_cycles.len(),
+        );
+        out
+    }
+
+    /// Renders the machine-readable JSON report (stable key order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(v.rule),
+                json_str(&v.file),
+                v.line,
+                json_str(&v.message)
+            );
+        }
+        out.push_str("\n  ],\n  \"allowed\": [");
+        for (i, a) in self.allowed.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}}}",
+                json_str(a.diagnostic.rule),
+                json_str(&a.diagnostic.file),
+                a.diagnostic.line,
+                json_str(&a.reason)
+            );
+        }
+        out.push_str("\n  ],\n  \"lock_graph\": {\n    \"edges\": [");
+        for (i, e) in self.lock_edges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n      {{\"from\": {}, \"to\": {}, \"site\": {}}}",
+                json_str(&e.from),
+                json_str(&e.to),
+                json_str(&format!("{}:{}", e.file, e.line))
+            );
+        }
+        out.push_str("\n    ],\n    \"cycles\": [");
+        for (i, c) in self.lock_cycles.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let nodes: Vec<String> = c.iter().map(|n| json_str(n)).collect();
+            let _ = write!(out, "{sep}\n      [{}]", nodes.join(", "));
+        }
+        out.push_str("\n    ]\n  },\n  \"panic_paths\": {");
+        for (i, (krate, counts)) in self.panic_counts.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {}: {{\"unwrap\": {}, \"expect\": {}, \"index\": {}}}",
+                json_str(krate),
+                counts.unwrap,
+                counts.expect,
+                counts.index
+            );
+        }
+        let _ = write!(
+            out,
+            "\n  }},\n  \"summary\": {{\"violations\": {}, \"allowed\": {}, \"clean\": {}}}\n}}\n",
+            self.violations.len(),
+            self.allowed.len(),
+            self.is_clean()
+        );
+        out
+    }
+}
+
+/// Escapes a string as a JSON literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn empty_report_is_clean_and_valid_json() {
+        let r = Report::default();
+        assert!(r.is_clean());
+        let j = r.to_json();
+        assert!(j.contains("\"violations\": ["));
+        assert!(j.contains("\"clean\": true"));
+    }
+}

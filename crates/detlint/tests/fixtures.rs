@@ -1,0 +1,163 @@
+//! Rule-by-rule fixture tests: one positive (violating) and one
+//! allowlisted/clean negative per rule family, exercising the same code
+//! paths `detlint check` runs on the real workspace.
+
+use std::path::PathBuf;
+
+use detlint::source::SourceFile;
+use detlint::{apply_allowlist, locks, panics, rules};
+
+fn fixture(name: &str) -> SourceFile {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    SourceFile::read(&path, &format!("fixtures/{name}"), "fixture")
+        .unwrap_or_else(|e| panic!("fixture {name}: {e}"))
+}
+
+#[test]
+fn hash_containers_are_flagged() {
+    let f = fixture("hash_positive.rs");
+    let (violations, allowed) = apply_allowlist(&f, rules::hash_container(&f));
+    // Import line (HashMap + HashSet), the HashMap local, the HashSet local.
+    assert_eq!(violations.len(), 4, "{violations:?}");
+    assert!(allowed.is_empty());
+    assert!(violations.iter().all(|d| d.rule == "hash-container"));
+}
+
+#[test]
+fn justified_hash_container_is_allowlisted() {
+    let f = fixture("hash_allowed.rs");
+    assert!(f.bad_allows.is_empty(), "{:?}", f.bad_allows);
+    let (violations, allowed) = apply_allowlist(&f, rules::hash_container(&f));
+    assert!(violations.is_empty(), "{violations:?}");
+    assert_eq!(allowed.len(), 1);
+    assert!(allowed[0].reason.contains("never iterated"));
+}
+
+#[test]
+fn wall_clock_reads_are_flagged() {
+    let f = fixture("wall_clock_positive.rs");
+    let (violations, allowed) = apply_allowlist(&f, rules::wall_clock(&f));
+    // SystemTime on the import, signature and call lines; Instant::now and
+    // env::var once each.
+    assert_eq!(violations.len(), 5, "{violations:?}");
+    assert!(allowed.is_empty());
+}
+
+#[test]
+fn justified_wall_clock_read_is_allowlisted() {
+    let f = fixture("wall_clock_allowed.rs");
+    let (violations, allowed) = apply_allowlist(&f, rules::wall_clock(&f));
+    assert!(violations.is_empty(), "{violations:?}");
+    assert_eq!(allowed.len(), 1);
+}
+
+#[test]
+fn ambient_randomness_is_flagged() {
+    let f = fixture("rng_positive.rs");
+    let (violations, allowed) = apply_allowlist(&f, rules::ambient_rng(&f));
+    assert!(violations.len() >= 6, "{violations:?}");
+    assert!(allowed.is_empty());
+    for token in ["thread_rng", "from_entropy", "DefaultHasher", "RandomState"] {
+        assert!(
+            violations.iter().any(|d| d.message.contains(token)),
+            "no diagnostic mentions {token}: {violations:?}"
+        );
+    }
+}
+
+#[test]
+fn justified_scratch_hasher_is_allowlisted() {
+    let f = fixture("rng_allowed.rs");
+    let (violations, allowed) = apply_allowlist(&f, rules::ambient_rng(&f));
+    assert!(violations.is_empty(), "{violations:?}");
+    assert_eq!(allowed.len(), 1);
+}
+
+#[test]
+fn lock_order_inversion_is_a_cycle() {
+    let f = fixture("lock_cycle.rs");
+    let analysis = locks::analyze(&[&f], false);
+    assert_eq!(
+        analysis.cycles,
+        vec![vec!["a".to_string(), "b".to_string()]]
+    );
+    assert!(analysis
+        .violations
+        .iter()
+        .any(|d| d.rule == "lock-discipline" && d.message.contains("deadlock")));
+}
+
+#[test]
+fn consistent_lock_order_with_scopes_and_drops_is_acyclic() {
+    let f = fixture("lock_clean.rs");
+    let analysis = locks::analyze(&[&f], false);
+    assert!(analysis.cycles.is_empty(), "{:?}", analysis.edges);
+    // Only f's a -> b survives: g's guards die at scope end / drop.
+    assert_eq!(analysis.edges.len(), 1);
+    assert_eq!(analysis.edges[0].from, "a");
+    assert_eq!(analysis.edges[0].to, "b");
+}
+
+#[test]
+fn lock_unwrap_and_wrapper_bypass_are_flagged() {
+    let f = fixture("lock_unwrap.rs");
+    // Outside exec only the poison-swallowing form is an error…
+    let relaxed = rules::lock_unwrap(&f, false);
+    assert_eq!(relaxed.len(), 1, "{relaxed:?}");
+    assert!(relaxed[0].message.contains("poison"));
+    // …inside exec any bare .lock() outside sync.rs is too.
+    let strict = rules::lock_unwrap(&f, true);
+    assert_eq!(strict.len(), 2, "{strict:?}");
+}
+
+#[test]
+fn sync_rs_is_exempt_from_the_plock_rule() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("lock_unwrap.rs");
+    let text = std::fs::read_to_string(path).expect("fixture readable");
+    let f = SourceFile::from_text(&text, "crates/exec/src/sync.rs", "exec");
+    // The wrapper file may use bare .lock(); swallowing poison is still out.
+    let strict = rules::lock_unwrap(&f, true);
+    assert_eq!(strict.len(), 1, "{strict:?}");
+    assert!(strict[0].message.contains("poison"));
+}
+
+#[test]
+fn undocumented_unsafe_is_flagged() {
+    let f = fixture("unsafe_positive.rs");
+    let diags = rules::unsafe_safety(&f);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, "unsafe-safety");
+}
+
+#[test]
+fn safety_comment_satisfies_the_unsafe_rule() {
+    let f = fixture("unsafe_negative.rs");
+    assert!(rules::unsafe_safety(&f).is_empty());
+}
+
+#[test]
+fn panic_paths_are_counted_exactly() {
+    let f = fixture("panic_paths.rs");
+    let counts = panics::count_file(&f);
+    assert_eq!(counts.unwrap, 2);
+    assert_eq!(counts.expect, 1);
+    // xs[0], xs[1], table[2]; the array literal and the string are excluded.
+    assert_eq!(counts.index, 3);
+}
+
+#[test]
+fn malformed_allow_directives_are_reported() {
+    let f = fixture("bad_allow.rs");
+    assert_eq!(f.bad_allows.len(), 2, "{:?}", f.bad_allows);
+    assert!(f.bad_allows.iter().any(|(_, m)| m.contains("no-such-rule")));
+    assert!(f
+        .bad_allows
+        .iter()
+        .any(|(_, m)| m.contains("reason") || m.contains("missing")));
+    // And no allow actually registered.
+    assert!(f.allows.is_empty());
+}

@@ -257,6 +257,7 @@ impl StarJoinEngine {
             Some((sim, charges)) => (Some(sim), Some(charges)),
             None => (None, None),
         };
+        // detlint: allow(wall-clock, reason = "measured wall speedup is observability; query results never depend on it")
         let start = Instant::now();
         let seed_order = match &config.placement {
             Some(placement) => placement_seed_order(plan, &self.store, placement),
@@ -372,6 +373,7 @@ fn run_worker(
     task_io: &TaskIoTable<'_>,
     worker: usize,
 ) -> (Vec<FragmentPartial>, WorkerMetrics) {
+    // detlint: allow(wall-clock, reason = "per-worker busy-time metrics; never part of query results")
     let started = Instant::now();
     let mut partials = Vec::new();
     let mut metrics = WorkerMetrics {

@@ -44,6 +44,7 @@ use storage::{BufferPoolStats, DiskModel, DiskParameters, PagePool};
 
 use crate::plan::QueryPlan;
 use crate::store::FragmentStore;
+use crate::sync::PoisonLock;
 
 /// Distinct page-cache objects per fragment: the fact object plus up to
 /// `OBJECT_STRIDE - 1` bitmap fragments.
@@ -429,7 +430,7 @@ impl SimulatedIo {
         if rows == 0 {
             return out;
         }
-        let mut state = self.state.lock().expect("simulated I/O lock poisoned");
+        let mut state = self.state.plock("simulated I/O state");
         let fact_pages = rows.div_ceil(self.rows_per_page);
         self.charge_object(
             &mut state,
@@ -515,7 +516,7 @@ impl SimulatedIo {
     /// Panics if the state lock is poisoned.
     #[must_use]
     pub fn metrics(&self) -> IoMetrics {
-        let state = self.state.lock().expect("simulated I/O lock poisoned");
+        let state = self.state.plock("simulated I/O state");
         let elapsed_ms = state.clock.elapsed_ms();
         let per_disk = state
             .disks
@@ -562,6 +563,7 @@ pub(crate) fn throttle_for(sim_ms: f64, wall_ns_per_sim_ms: u64) {
         return;
     }
     let wall = Duration::from_nanos((sim_ms * wall_ns_per_sim_ms as f64) as u64);
+    // detlint: allow(wall-clock, reason = "this IS the wall throttle: it converts simulated ms into spun wall time")
     let start = Instant::now();
     while start.elapsed() < wall {
         std::hint::spin_loop();

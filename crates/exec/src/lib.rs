@@ -66,6 +66,8 @@
 //! assert_eq!(serial.measure_sums, parallel.measure_sums); // bit-identical
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod io;
 pub mod metrics;
@@ -73,6 +75,7 @@ pub mod plan;
 pub mod queue;
 pub mod scheduler;
 pub mod store;
+mod sync;
 
 pub use engine::{ExecConfig, QueryResult, StarJoinEngine};
 pub use io::{DiskClock, DiskIoStats, IoConfig, IoMetrics, SimulatedIo, TaskIo};

@@ -17,6 +17,8 @@
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
+use crate::sync::PoisonLock;
+
 /// One worker's deque plus the total cost of its queued tasks.
 #[derive(Debug)]
 struct CostedDeque<T> {
@@ -109,7 +111,7 @@ impl<T> StealDeques<T> {
     }
 
     fn lock(&self, worker: usize) -> std::sync::MutexGuard<'_, CostedDeque<T>> {
-        self.deques[worker].lock().expect("queue lock poisoned")
+        self.deques[worker].plock("worker deque")
     }
 }
 

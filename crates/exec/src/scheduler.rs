@@ -52,6 +52,7 @@ use crate::io::{throttle_for, SimulatedIo};
 use crate::metrics::{ExecMetrics, ThroughputMetrics, WorkerMetrics};
 use crate::plan::PredicateBinding;
 use crate::queue::StealDeques;
+use crate::sync::PoisonLock;
 
 /// Configuration of a multi-query scheduler run.
 #[derive(Debug, Clone)]
@@ -228,6 +229,7 @@ impl Shared {
                 break;
             };
             let prepared = &self.prepared[query_id];
+            // detlint: allow(wall-clock, reason = "admission-wait latency observability; results are merged deterministically")
             let admitted_at = Instant::now();
             let admission_wait = admitted_at.duration_since(self.started);
             if prepared.fragments.is_empty() {
@@ -350,9 +352,7 @@ impl Shared {
     }
 
     fn lock_control(&self) -> MutexGuard<'_, Control> {
-        self.control
-            .lock()
-            .expect("scheduler control lock poisoned")
+        self.control.plock("scheduler control")
     }
 }
 
@@ -415,6 +415,7 @@ fn worker_loop(shared: &Shared, engine: &StarJoinEngine, worker: usize) -> Worke
                 }
             },
         };
+        // detlint: allow(wall-clock, reason = "per-task busy-time metrics; never part of query results")
         let task_started = Instant::now();
         throttle_for(task.sim_ms, wall_ns_per_sim_ms);
         metrics.sim_io_ms += task.sim_ms;
@@ -493,6 +494,7 @@ impl<'e> QueryScheduler<'e> {
         // The run clock starts *after* planning (like `ExecMetrics::wall`),
         // so admission waits measure queueing delay and queries/sec measures
         // execution throughput, not upfront plan time.
+        // detlint: allow(wall-clock, reason = "stream run clock for qps/latency observability; results never depend on it")
         let started = Instant::now();
         let shared = Shared {
             deques: StealDeques::new(workers),

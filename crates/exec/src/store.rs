@@ -200,7 +200,7 @@ impl FragmentStore {
         let cards: Vec<u64> = schema
             .dimensions()
             .iter()
-            .map(|d| d.cardinality())
+            .map(schema::Dimension::cardinality)
             .collect();
         let measure_count = schema.fact().measures().len().max(1);
         let dims = samplers.len() as u64;

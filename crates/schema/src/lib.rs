@@ -18,6 +18,8 @@
 //! * [`size`] — page/tuple/bitmap sizing helpers shared by the cost model and
 //!   the simulator.
 
+#![forbid(unsafe_code)]
+
 pub mod apb1;
 pub mod attr;
 pub mod dimension;

@@ -34,6 +34,8 @@
 //! assert_eq!(e, Ev::Ping(1));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod events;
 pub mod rng;
 pub mod server;

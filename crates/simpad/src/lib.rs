@@ -25,6 +25,8 @@
 //! number of query instances of one type and reports response-time and
 //! utilisation statistics — the quantities plotted in Figures 3–6.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod engine;
 pub mod metrics;

@@ -7,13 +7,13 @@
 //! hits and which had to be fetched from disk, and installs the fetched pages
 //! with LRU replacement.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
 /// Identifies one page: an object (fragment, bitmap fragment, …) and a page
 /// number within it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct PageKey {
     /// Identifier of the containing object (assigned by the caller).
     pub object: u64,
@@ -55,16 +55,17 @@ impl BufferPoolStats {
 
 /// A fixed-capacity LRU pool of pages.
 ///
-/// Residency is tracked with a hash map from page to its last-use tick plus a
-/// B-tree keyed by tick, so both lookups and evictions are logarithmic — the
-/// simulator issues hundreds of thousands of page requests per query.
+/// Residency is tracked with an ordered map from page to its last-use tick
+/// plus a B-tree keyed by tick, so both lookups and evictions are
+/// logarithmic — the simulator issues hundreds of thousands of page requests
+/// per query — and every traversal order is deterministic.
 #[derive(Debug, Clone)]
 pub struct PagePool {
     capacity: usize,
     /// Maps resident pages to their last-use tick.
-    resident: HashMap<PageKey, u64>,
+    resident: BTreeMap<PageKey, u64>,
     /// Maps last-use ticks back to pages (ticks are unique).
-    lru_order: std::collections::BTreeMap<u64, PageKey>,
+    lru_order: BTreeMap<u64, PageKey>,
     tick: u64,
     stats: BufferPoolStats,
 }
@@ -80,8 +81,8 @@ impl PagePool {
         assert!(capacity > 0, "buffer pool capacity must be positive");
         PagePool {
             capacity,
-            resident: HashMap::with_capacity(capacity),
-            lru_order: std::collections::BTreeMap::new(),
+            resident: BTreeMap::new(),
+            lru_order: BTreeMap::new(),
             tick: 0,
             stats: BufferPoolStats::default(),
         }

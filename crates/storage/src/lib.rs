@@ -11,6 +11,8 @@
 //!   and separate pools for fact-table and bitmap pages (Table 4: 1 000 fact
 //!   pages, 5 000 bitmap pages; prefetch 8 / 5 pages).
 
+#![forbid(unsafe_code)]
+
 pub mod buffer;
 pub mod disk;
 

@@ -38,6 +38,8 @@
 //! assert_eq!(classification.fragments_to_process, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use allocation;
 pub use bitmap;
 pub use exec;

@@ -20,6 +20,8 @@
 //!   ([`QueryGenerator::with_value_skew`]) and selectivity-skewed fact
 //!   tables (`exec::FragmentStore::build_skewed`).
 
+#![forbid(unsafe_code)]
+
 pub mod bound;
 pub mod generator;
 pub mod queries;
