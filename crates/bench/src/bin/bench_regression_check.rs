@@ -14,7 +14,9 @@
 //! extracts every numeric field and aggregates the *comparable metrics*:
 //!
 //! * **higher-is-better** — fields named `qps` (mean over all occurrences),
-//! * **lower-is-better** — fields named `latency_mean_ms` / `latency_p95_ms`.
+//! * **lower-is-better** — the latency fields `latency_mean_ms`,
+//!   `latency_p95_ms`, `latency_p99_ms` and `latency_p999_ms`, so the gate
+//!   covers the tail of the distribution, not just its centre.
 //!
 //! A metric regresses when it moves against its direction by more than the
 //! tolerance (default ±15 %).  Aggregating to per-file means keeps the gate
@@ -35,7 +37,12 @@ use bench_support::arg_value;
 /// Metric fields where larger current values are better.
 const HIGHER_IS_BETTER: [&str; 1] = ["qps"];
 /// Metric fields where smaller current values are better.
-const LOWER_IS_BETTER: [&str; 2] = ["latency_mean_ms", "latency_p95_ms"];
+const LOWER_IS_BETTER: [&str; 4] = [
+    "latency_mean_ms",
+    "latency_p95_ms",
+    "latency_p99_ms",
+    "latency_p999_ms",
+];
 
 /// Extracts every `"key": <number>` pair from a JSON document, in order.
 fn numeric_fields(json: &str) -> Vec<(String, f64)> {
@@ -243,8 +250,10 @@ mod tests {
       "bench": "multiuser_throughput",
       "quick": true,
       "points": [
-        {"workers": 2, "mpl": 1, "qps": 100.0, "latency_mean_ms": 4.0, "latency_p95_ms": 9.0},
-        {"workers": 2, "mpl": 4, "qps": 300.0, "latency_mean_ms": 6.0, "latency_p95_ms": 11.0}
+        {"workers": 2, "mpl": 1, "qps": 100.0, "latency_mean_ms": 4.0, "latency_p95_ms": 9.0,
+         "latency_p99_ms": 14.0, "latency_p999_ms": 19.0},
+        {"workers": 2, "mpl": 4, "qps": 300.0, "latency_mean_ms": 6.0, "latency_p95_ms": 11.0,
+         "latency_p99_ms": 16.0, "latency_p999_ms": 21.0}
       ]
     }"#;
 
@@ -313,6 +322,22 @@ mod tests {
         let failures = compare_files(SAMPLE, &regressed, 0.15);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("latency_mean_ms"));
+    }
+
+    #[test]
+    fn a_30_percent_tail_latency_increase_fails() {
+        // A run whose p99/p999 blow up while mean and p95 hold steady —
+        // the shape a lock-convoy or overflow-path regression produces —
+        // must still fail the gate.
+        let regressed = scaled(
+            &scaled(SAMPLE, "latency_p99_ms", 1.3),
+            "latency_p999_ms",
+            1.4,
+        );
+        let failures = compare_files(SAMPLE, &regressed, 0.15);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures.iter().any(|f| f.contains("latency_p99_ms")));
+        assert!(failures.iter().any(|f| f.contains("latency_p999_ms")));
     }
 
     #[test]

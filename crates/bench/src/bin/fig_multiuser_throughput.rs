@@ -47,6 +47,8 @@ struct Point {
     qps: f64,
     latency_mean_ms: f64,
     latency_p95_ms: f64,
+    latency_p99_ms: f64,
+    latency_p999_ms: f64,
     utilisation: f64,
     steal_rate: f64,
     affinity_hit_rate: f64,
@@ -94,6 +96,7 @@ fn write_json(
             out,
             "    {{\"fragmentation\": \"{}\", \"workers\": {}, \"mpl\": {}, \"queries\": {}, \
              \"wall_ms\": {}, \"qps\": {}, \"latency_mean_ms\": {}, \"latency_p95_ms\": {}, \
+             \"latency_p99_ms\": {}, \"latency_p999_ms\": {}, \
              \"utilisation\": {}, \"steal_rate\": {}, \"affinity_hit_rate\": {}, \
              \"cost_relative\": {}}}{comma}",
             p.fragmentation,
@@ -104,6 +107,8 @@ fn write_json(
             json_number(p.qps),
             json_number(p.latency_mean_ms),
             json_number(p.latency_p95_ms),
+            json_number(p.latency_p99_ms),
+            json_number(p.latency_p999_ms),
             json_number(p.utilisation),
             json_number(p.steal_rate),
             json_number(p.affinity_hit_rate),
@@ -154,7 +159,7 @@ fn main() {
     let full_query = QueryType::OneMonthOneGroup.to_star_query(&full_schema);
     let cost_model = CostModel::new(full_schema.clone(), IndexCatalog::default_for(&full_schema));
 
-    let widths = [12usize, 7, 4, 10, 9, 12, 11, 6, 7, 9, 9];
+    let widths = [12usize, 7, 4, 10, 9, 12, 11, 11, 6, 7, 9, 9];
     let mut points: Vec<Point> = Vec::new();
     for (frag_name, attrs) in fragmentations {
         let engine = StarJoinEngine::new(measured_store_fragmented(quick, attrs));
@@ -176,6 +181,7 @@ fn main() {
                 "rel",
                 "mean [ms]",
                 "p95 [ms]",
+                "p99 [ms]",
                 "util",
                 "steal",
                 "affinity",
@@ -199,10 +205,8 @@ fn main() {
                         format!("{qps:.0}"),
                         format!("{relative:.2}x"),
                         format!("{:.3}", metrics.latency_mean().as_secs_f64() * 1e3),
-                        format!(
-                            "{:.3}",
-                            metrics.latency_percentile(95.0).as_secs_f64() * 1e3
-                        ),
+                        format!("{:.3}", metrics.latency_p95().as_secs_f64() * 1e3),
+                        format!("{:.3}", metrics.latency_p99().as_secs_f64() * 1e3),
                         format!("{:.2}", metrics.worker_utilisation()),
                         format!("{:.2}", metrics.steal_rate()),
                         format!("{:.2}", metrics.affinity_hit_rate()),
@@ -218,7 +222,9 @@ fn main() {
                     wall_ms: metrics.pool.wall.as_secs_f64() * 1e3,
                     qps,
                     latency_mean_ms: metrics.latency_mean().as_secs_f64() * 1e3,
-                    latency_p95_ms: metrics.latency_percentile(95.0).as_secs_f64() * 1e3,
+                    latency_p95_ms: metrics.latency_p95().as_secs_f64() * 1e3,
+                    latency_p99_ms: metrics.latency_p99().as_secs_f64() * 1e3,
+                    latency_p999_ms: metrics.latency_p999().as_secs_f64() * 1e3,
                     utilisation: metrics.worker_utilisation(),
                     steal_rate: metrics.steal_rate(),
                     affinity_hit_rate: metrics.affinity_hit_rate(),

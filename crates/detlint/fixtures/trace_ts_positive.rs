@@ -1,0 +1,24 @@
+//! Fixture: trace events timestamped from the wall clock — the exact
+//! mistake the `obs` crate designs away by stamping from the simulated
+//! clock / logical admission counter.  Every wall read here must be
+//! flagged: a wall-stamped trace is never bit-identical across runs.
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+pub struct Event {
+    pub ts_us: u64,
+}
+
+pub fn record_with_wall_timestamp() -> Event {
+    let wall = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default();
+    Event {
+        ts_us: wall.as_micros() as u64,
+    }
+}
+
+pub fn record_with_monotonic_timestamp(epoch: Instant) -> Event {
+    Event {
+        ts_us: Instant::now().duration_since(epoch).as_micros() as u64,
+    }
+}

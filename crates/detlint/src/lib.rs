@@ -48,6 +48,7 @@ pub const CRATES: &[(&str, &str)] = &[
     ("bitmap", "crates/bitmap/src"),
     ("core", "crates/core/src"),
     ("exec", "crates/exec/src"),
+    ("obs", "crates/obs/src"),
     ("schema", "crates/schema/src"),
     ("simkit", "crates/simkit/src"),
     ("simpad", "crates/simpad/src"),

@@ -161,3 +161,28 @@ fn malformed_allow_directives_are_reported() {
     // And no allow actually registered.
     assert!(f.allows.is_empty());
 }
+
+#[test]
+fn wall_stamped_trace_events_are_flagged() {
+    // The obs-crate rule in miniature: trace timestamps must come from the
+    // simulated/logical clock, so wall-clock stamping is a violation on
+    // the import, the SystemTime read and the Instant read.
+    let f = fixture("trace_ts_positive.rs");
+    let (violations, allowed) = apply_allowlist(&f, rules::wall_clock(&f));
+    assert_eq!(violations.len(), 3, "{violations:?}");
+    assert!(allowed.is_empty());
+    assert!(violations.iter().all(|d| d.rule == "wall-clock"));
+}
+
+#[test]
+fn logical_clock_trace_stamping_passes_with_one_justified_read() {
+    // The deterministic design: logical-clock stamping produces no
+    // diagnostics at all, and the single export-time wall read carries its
+    // justification in place.
+    let f = fixture("trace_ts_allowed.rs");
+    assert!(f.bad_allows.is_empty(), "{:?}", f.bad_allows);
+    let (violations, allowed) = apply_allowlist(&f, rules::wall_clock(&f));
+    assert!(violations.is_empty(), "{violations:?}");
+    assert_eq!(allowed.len(), 1);
+    assert!(allowed[0].reason.contains("simulated clock"));
+}

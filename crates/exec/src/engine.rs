@@ -30,6 +30,7 @@ use std::time::Instant;
 
 use allocation::PhysicalAllocation;
 use bitmap::BitmapRepr;
+use obs::{us_from_ms, EventKind, FieldKey, ObsConfig, Trace, TraceRecorder, Track};
 use workload::BoundQuery;
 
 use crate::io::{throttle_for, IoConfig, SimulatedIo, TaskIo};
@@ -54,6 +55,11 @@ pub struct ExecConfig {
     /// affects results, only cost accounting (and wall time when a
     /// throttle is configured).
     pub io: Option<IoConfig>,
+    /// Deterministic tracing: when enabled, the run records typed events
+    /// (query lifecycle, scans, disk service, per-worker task runs) into a
+    /// bounded ring and returns them as [`QueryResult::trace`].  Never
+    /// affects results or metrics; disabled is zero-cost.
+    pub obs: ObsConfig,
 }
 
 impl ExecConfig {
@@ -64,6 +70,7 @@ impl ExecConfig {
             workers,
             placement: None,
             io: None,
+            obs: ObsConfig::default(),
         }
     }
 
@@ -87,6 +94,13 @@ impl ExecConfig {
     #[must_use]
     pub fn with_io(mut self, io: IoConfig) -> Self {
         self.io = Some(io);
+        self
+    }
+
+    /// Records a deterministic trace of the run (see [`ObsConfig`]).
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -137,6 +151,8 @@ pub struct QueryResult {
     pub measure_sums: Vec<f64>,
     /// Execution metrics (per-worker accounting, wall clock).
     pub metrics: ExecMetrics,
+    /// The recorded trace when [`ExecConfig::obs`] was enabled.
+    pub trace: Option<Trace>,
 }
 
 /// Partial aggregate of one fragment, tagged with its plan position so the
@@ -225,7 +241,7 @@ impl StarJoinEngine {
                 let io = SimulatedIo::new(*io_config, self.store.schema());
                 self.execute_plan_with_io(plan, config, &io)
             }
-            None => self.run_pool(plan, config, None),
+            None => self.run_pool(plan, config, None, make_recorder(config)),
         }
     }
 
@@ -240,8 +256,9 @@ impl StarJoinEngine {
         config: &ExecConfig,
         io: &SimulatedIo,
     ) -> QueryResult {
-        let charges = io.charge_plan(plan, &self.store);
-        self.run_pool(plan, config, Some((io, charges)))
+        let recorder = make_recorder(config);
+        let charges = io.charge_plan_traced(plan, &self.store, 0, recorder.as_ref());
+        self.run_pool(plan, config, Some((io, charges)), recorder)
     }
 
     /// The shared pool loop behind both execution entry points.
@@ -250,6 +267,7 @@ impl StarJoinEngine {
         plan: &QueryPlan,
         config: &ExecConfig,
         io: Option<(&SimulatedIo, Vec<TaskIo>)>,
+        recorder: Option<TraceRecorder>,
     ) -> QueryResult {
         let workers = config.pool_size(plan.fragments().len());
         let bitmap_predicates = plan.bitmap_predicates();
@@ -274,6 +292,18 @@ impl StarJoinEngine {
             charges: charges.as_deref(),
             wall_ns_per_sim_ms: io_sim.map_or(0, |s| s.config().wall_ns_per_sim_ms),
         };
+        if let Some(rec) = recorder.as_ref() {
+            rec.record(Track::Query(0), EventKind::QuerySubmit, 0, 0, vec![]);
+            rec.record(
+                Track::Query(0),
+                EventKind::QueryPlan,
+                0,
+                0,
+                vec![(FieldKey::Fragments, plan.fragments().len() as u64)],
+            );
+            rec.record(Track::Query(0), EventKind::QueryAdmit, 0, 0, vec![]);
+        }
+        let rec = recorder.as_ref();
         let outputs: Vec<(Vec<FragmentPartial>, WorkerMetrics)> = if workers == 1 {
             vec![run_worker(
                 &self.store,
@@ -282,6 +312,7 @@ impl StarJoinEngine {
                 &queue,
                 &task_io,
                 0,
+                rec,
             )]
         } else {
             thread::scope(|scope| {
@@ -291,7 +322,9 @@ impl StarJoinEngine {
                         let queue = &queue;
                         let preds = &bitmap_predicates;
                         let task_io = &task_io;
-                        scope.spawn(move || run_worker(store, plan, preds, queue, task_io, worker))
+                        scope.spawn(move || {
+                            run_worker(store, plan, preds, queue, task_io, worker, rec)
+                        })
                     })
                     .collect();
                 handles
@@ -313,6 +346,29 @@ impl StarJoinEngine {
         }
         worker_metrics.sort_by_key(|m| m.worker);
         let (hits, measure_sums) = merge_partials(&mut partials, self.store.measure_count());
+        if let Some(rec) = recorder.as_ref() {
+            // The query's simulated span: charge 0 (admission) to the last
+            // charge's completion on the disk clock (0 with the I/O layer
+            // off — lifecycle events then degenerate to logical time 0).
+            let end_ms = charges.as_deref().map_or(0.0, |charges| {
+                charges.iter().map(|c| c.sim_end_ms).fold(0.0, f64::max)
+            });
+            let end_us = us_from_ms(end_ms);
+            rec.record(
+                Track::Query(0),
+                EventKind::Query,
+                0,
+                end_us,
+                vec![(FieldKey::Fragments, plan.fragments().len() as u64)],
+            );
+            rec.record(
+                Track::Query(0),
+                EventKind::QueryComplete,
+                end_us,
+                0,
+                vec![(FieldKey::Rows, hits)],
+            );
+        }
         QueryResult {
             query_name: plan.query_name().to_string(),
             hits,
@@ -323,8 +379,17 @@ impl StarJoinEngine {
                 planned_fragments: plan.fragments().len(),
                 io: io_sim.map(SimulatedIo::metrics),
             },
+            trace: recorder.map(TraceRecorder::into_trace),
         }
     }
+}
+
+/// The run's event sink when tracing is enabled (`None` is zero-cost).
+fn make_recorder(config: &ExecConfig) -> Option<TraceRecorder> {
+    config
+        .obs
+        .enabled
+        .then(|| TraceRecorder::new(config.obs.capacity))
 }
 
 /// The per-task simulated I/O charges a pool run executes under: `None`
@@ -365,6 +430,7 @@ pub(crate) fn placement_seed_order(
 }
 
 /// One worker's loop: claim fragments until the queue is dry.
+#[allow(clippy::too_many_arguments)]
 fn run_worker(
     store: &FragmentStore,
     plan: &QueryPlan,
@@ -372,6 +438,7 @@ fn run_worker(
     queue: &FragmentQueue,
     task_io: &TaskIoTable<'_>,
     worker: usize,
+    recorder: Option<&TraceRecorder>,
 ) -> (Vec<FragmentPartial>, WorkerMetrics) {
     // detlint: allow(wall-clock, reason = "per-worker busy-time metrics; never part of query results")
     let started = Instant::now();
@@ -380,12 +447,19 @@ fn run_worker(
         worker,
         ..WorkerMetrics::default()
     };
+    // This worker's position on its own simulated timeline: the sum of
+    // simulated I/O it has executed so far.  Task-run events are
+    // thread-attributed (which worker ran a task is a scheduling outcome),
+    // but each worker's timeline is internally exact.
+    let mut sim_cursor_ms = 0.0f64;
     while let Some(claim) = queue.claim(worker) {
         let task = claim.task();
-        if matches!(claim, Claim::Stolen(_)) {
+        let stolen = matches!(claim, Claim::Stolen(_));
+        if stolen {
             metrics.fragments_stolen += 1;
         }
-        metrics.sim_io_ms += task_io.perform(task);
+        let sim_ms = task_io.perform(task);
+        metrics.sim_io_ms += sim_ms;
         let fragment = store.fragment(plan.fragments()[task]);
         let (partial, compressed) =
             process_fragment(fragment, bitmap_predicates, store.measure_count(), task);
@@ -393,6 +467,33 @@ fn run_worker(
         metrics.fragments_compressed += usize::from(compressed);
         metrics.rows_scanned += partial.rows;
         metrics.rows_matched += partial.hits;
+        if let Some(rec) = recorder {
+            let ts_us = us_from_ms(sim_cursor_ms);
+            if stolen {
+                rec.record(
+                    Track::Worker(worker as u32),
+                    EventKind::Steal,
+                    ts_us,
+                    0,
+                    vec![(FieldKey::Query, 0), (FieldKey::Task, task as u64)],
+                );
+            }
+            rec.record(
+                Track::Worker(worker as u32),
+                EventKind::TaskRun,
+                ts_us,
+                us_from_ms(sim_ms),
+                vec![
+                    (FieldKey::Query, 0),
+                    (FieldKey::Task, task as u64),
+                    (FieldKey::Fragment, plan.fragments()[task]),
+                    (FieldKey::Rows, partial.rows),
+                    (FieldKey::Stolen, u64::from(stolen)),
+                    (FieldKey::SimMsBits, sim_ms.to_bits()),
+                ],
+            );
+        }
+        sim_cursor_ms += sim_ms;
         partials.push(partial);
     }
     metrics.busy = started.elapsed();

@@ -39,6 +39,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use allocation::PhysicalAllocation;
+use obs::{us_from_ms, EventKind, FieldKey, TraceRecorder, Track};
 use schema::{PageSizing, StarSchema};
 use storage::{BufferPoolStats, DiskModel, DiskParameters, PagePool};
 
@@ -145,6 +146,12 @@ pub struct TaskIo {
     pub cache_misses: u64,
     /// The disk holding the scan's fact fragment.
     pub fact_disk: u64,
+    /// Simulated time at which the scan's earliest disk request started, in
+    /// ms on the [`DiskClock`] (0 for fully cached or empty scans).
+    pub sim_start_ms: f64,
+    /// Simulated time at which the scan's last disk request completed, in
+    /// ms on the [`DiskClock`] (0 for fully cached or empty scans).
+    pub sim_end_ms: f64,
 }
 
 impl TaskIo {
@@ -159,6 +166,16 @@ impl TaskIo {
             1
         }
     }
+}
+
+/// Who a traced scan belongs to: the query and task ids stamped onto the
+/// `Scan` and `DiskService` trace events a charge emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScanCtx {
+    /// Query id (0 for single-query engine runs).
+    pub query: u32,
+    /// Task index within the query's plan.
+    pub task: u32,
 }
 
 /// The deterministic clock of the simulated disks.
@@ -418,6 +435,32 @@ impl SimulatedIo {
     /// fragments (the per-fragment cache-object budget) or the state lock
     /// is poisoned.
     pub fn charge_scan(&self, fragment_no: u64, rows: u64, bitmap_fragments: u64) -> TaskIo {
+        self.charge_scan_traced(
+            fragment_no,
+            rows,
+            bitmap_fragments,
+            ScanCtx::default(),
+            None,
+        )
+    }
+
+    /// [`Self::charge_scan`] with trace attribution: when `recorder` is
+    /// present, emits one `DiskService` event per charged object on its
+    /// disk's track and one `Scan` event on the query's track, all stamped
+    /// from the simulated clock.  The trace therefore inherits the charge
+    /// order's determinism.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::charge_scan`].
+    pub fn charge_scan_traced(
+        &self,
+        fragment_no: u64,
+        rows: u64,
+        bitmap_fragments: u64,
+        ctx: ScanCtx,
+        recorder: Option<&TraceRecorder>,
+    ) -> TaskIo {
         assert!(
             bitmap_fragments < OBJECT_STRIDE,
             "at most {} bitmap fragments per scan",
@@ -432,33 +475,62 @@ impl SimulatedIo {
         }
         let mut state = self.state.plock("simulated I/O state");
         let fact_pages = rows.div_ceil(self.rows_per_page);
-        self.charge_object(
+        let (mut start_ms, mut end_ms) = self.charge_object(
             &mut state,
             out.fact_disk,
             fragment_no * OBJECT_STRIDE,
             fact_pages,
             self.config.fact_prefetch_pages,
             &mut out,
+            ctx,
+            recorder,
         );
         // One bitmap fragment per required bitmap, each covering this
         // fragment's rows at one bit per row (at least one page).
         let bitmap_pages = rows.div_ceil(8).div_ceil(self.page_bytes).max(1);
         for b in 0..bitmap_fragments {
             let disk = self.config.allocation.bitmap_disk(fragment_no, b);
-            self.charge_object(
+            let (object_start, object_end) = self.charge_object(
                 &mut state,
                 disk,
                 fragment_no * OBJECT_STRIDE + 1 + b,
                 bitmap_pages,
                 self.config.bitmap_prefetch_pages,
                 &mut out,
+                ctx,
+                recorder,
+            );
+            start_ms = start_ms.min(object_start);
+            end_ms = end_ms.max(object_end);
+        }
+        out.sim_start_ms = start_ms;
+        out.sim_end_ms = end_ms;
+        if let Some(rec) = recorder {
+            rec.record(
+                Track::Query(ctx.query),
+                EventKind::Scan,
+                us_from_ms(start_ms),
+                us_from_ms(end_ms).saturating_sub(us_from_ms(start_ms)),
+                vec![
+                    (FieldKey::Task, u64::from(ctx.task)),
+                    (FieldKey::Fragment, fragment_no),
+                    (FieldKey::Rows, rows),
+                    (FieldKey::Pages, out.pages_read),
+                    (FieldKey::CacheHits, out.cache_hits),
+                    (FieldKey::CacheMisses, out.cache_misses),
+                    (FieldKey::Disk, out.fact_disk),
+                    (FieldKey::SimMsBits, out.sim_ms.to_bits()),
+                ],
             );
         }
         out
     }
 
     /// Charges one contiguous object (a fact fragment or one bitmap
-    /// fragment) on `disk`, granule by granule through the cache.
+    /// fragment) on `disk`, granule by granule through the cache; returns
+    /// the simulated `(start, end)` window of the object's disk activity
+    /// (`start == end` when fully cached).
+    #[allow(clippy::too_many_arguments)]
     fn charge_object(
         &self,
         state: &mut IoState,
@@ -467,10 +539,15 @@ impl SimulatedIo {
         pages: u64,
         prefetch_pages: u64,
         out: &mut TaskIo,
-    ) {
+        ctx: ScanCtx,
+        recorder: Option<&TraceRecorder>,
+    ) -> (f64, f64) {
         let track = object_track(object, self.config.disk.tracks);
         let prefetch = prefetch_pages.max(1);
         state.disks[disk as usize].scans += 1;
+        let start_ms = state.clock.busy_ms(disk);
+        let mut object_hits = 0u64;
+        let mut object_misses = 0u64;
         let mut page = 0;
         while page < pages {
             let granule = prefetch.min(pages - page);
@@ -482,6 +559,7 @@ impl SimulatedIo {
             let d = &mut state.disks[disk as usize];
             d.cache_hits += hits;
             out.cache_hits += hits;
+            object_hits += hits;
             if misses > 0 {
                 // The first granule of an object pays the seek to its
                 // track; later granules are sequential on the same track.
@@ -493,20 +571,73 @@ impl SimulatedIo {
                 out.sim_ms += service;
                 out.pages_read += misses;
                 out.cache_misses += misses;
+                object_misses += misses;
             }
             page += granule;
         }
+        let end_ms = state.clock.busy_ms(disk);
+        if let Some(rec) = recorder {
+            rec.record(
+                Track::Disk(disk as u32),
+                EventKind::DiskService,
+                us_from_ms(start_ms),
+                us_from_ms(end_ms).saturating_sub(us_from_ms(start_ms)),
+                vec![
+                    (FieldKey::Query, u64::from(ctx.query)),
+                    (FieldKey::Task, u64::from(ctx.task)),
+                    (FieldKey::Pages, pages),
+                    (FieldKey::CacheHits, object_hits),
+                    (FieldKey::CacheMisses, object_misses),
+                ],
+            );
+        }
+        (start_ms, end_ms)
     }
 
     /// Charges every fragment scan of `plan` in plan order — the engine's
     /// deterministic replay — returning one [`TaskIo`] per task.
     #[must_use]
     pub fn charge_plan(&self, plan: &QueryPlan, store: &FragmentStore) -> Vec<TaskIo> {
+        self.charge_plan_traced(plan, store, 0, None)
+    }
+
+    /// [`Self::charge_plan`] with trace attribution for `query`.
+    #[must_use]
+    pub fn charge_plan_traced(
+        &self,
+        plan: &QueryPlan,
+        store: &FragmentStore,
+        query: u32,
+        recorder: Option<&TraceRecorder>,
+    ) -> Vec<TaskIo> {
         let bitmap_fragments = plan.bitmap_fragments_per_subquery(store.catalog());
         plan.fragments()
             .iter()
-            .map(|&f| self.charge_scan(f, store.fragment(f).len() as u64, bitmap_fragments))
+            .enumerate()
+            .map(|(task, &f)| {
+                self.charge_scan_traced(
+                    f,
+                    store.fragment(f).len() as u64,
+                    bitmap_fragments,
+                    ScanCtx {
+                        query,
+                        task: task as u32,
+                    },
+                    recorder,
+                )
+            })
             .collect()
+    }
+
+    /// Elapsed simulated time so far (the parallel-disk makespan), in ms —
+    /// the admission timestamp source for deterministic trace events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state lock is poisoned.
+    #[must_use]
+    pub fn sim_elapsed_ms(&self) -> f64 {
+        self.state.plock("simulated I/O state").clock.elapsed_ms()
     }
 
     /// A snapshot of the subsystem's accounting.

@@ -78,8 +78,9 @@ pub mod store;
 mod sync;
 
 pub use engine::{ExecConfig, QueryResult, StarJoinEngine};
-pub use io::{DiskClock, DiskIoStats, IoConfig, IoMetrics, SimulatedIo, TaskIo};
+pub use io::{DiskClock, DiskIoStats, IoConfig, IoMetrics, ScanCtx, SimulatedIo, TaskIo};
 pub use metrics::{ExecMetrics, ThroughputMetrics, WorkerMetrics};
+pub use obs::ObsConfig;
 pub use plan::{PredicateBinding, QueryPlan};
 pub use queue::{Claim, FragmentQueue};
 pub use scheduler::{QueryScheduler, ScheduledQuery, SchedulerConfig, StreamOutcome};

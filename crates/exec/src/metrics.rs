@@ -2,6 +2,7 @@
 //! multi-user throughput statistics, and — when the simulated disk layer is
 //! active — per-disk utilisation, queue-depth and cache statistics.
 
+use std::sync::OnceLock;
 use std::time::Duration;
 
 use crate::io::IoMetrics;
@@ -146,9 +147,30 @@ pub struct ThroughputMetrics {
     pub latencies: Vec<Duration>,
     /// The admission-control limit (MPL) the run was admitted under.
     pub mpl: usize,
+    /// `latencies` sorted ascending, built once on the first percentile
+    /// query instead of on every call.
+    sorted: OnceLock<Vec<Duration>>,
 }
 
 impl ThroughputMetrics {
+    /// Assembles the run's metrics from the pool accounting and the
+    /// per-query latencies (in submission order).
+    #[must_use]
+    pub fn new(
+        pool: ExecMetrics,
+        queries_completed: usize,
+        latencies: Vec<Duration>,
+        mpl: usize,
+    ) -> Self {
+        ThroughputMetrics {
+            pool,
+            queries_completed,
+            latencies,
+            mpl,
+            sorted: OnceLock::new(),
+        }
+    }
+
     /// Completed queries per second of wall-clock time — the multi-user
     /// throughput metric of the paper's SIMPAD experiments.
     #[must_use]
@@ -167,15 +189,46 @@ impl ThroughputMetrics {
 
     /// The `p`-th latency percentile (nearest rank over the sorted
     /// latencies); `p` is clamped to `[0, 100]`.
+    ///
+    /// The sorted order is computed once and cached — sweeping many
+    /// percentiles (p50/p95/p99/p999 per run) no longer clones and re-sorts
+    /// the latency vector per call.
     #[must_use]
     pub fn latency_percentile(&self, p: f64) -> Duration {
         if self.latencies.is_empty() {
             return Duration::ZERO;
         }
-        let mut sorted = self.latencies.clone();
-        sorted.sort_unstable();
+        let sorted = self.sorted.get_or_init(|| {
+            let mut sorted = self.latencies.clone();
+            sorted.sort_unstable();
+            sorted
+        });
         let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
         sorted[rank.round() as usize]
+    }
+
+    /// The median latency.
+    #[must_use]
+    pub fn latency_p50(&self) -> Duration {
+        self.latency_percentile(50.0)
+    }
+
+    /// The 95th-percentile latency.
+    #[must_use]
+    pub fn latency_p95(&self) -> Duration {
+        self.latency_percentile(95.0)
+    }
+
+    /// The 99th-percentile latency.
+    #[must_use]
+    pub fn latency_p99(&self) -> Duration {
+        self.latency_percentile(99.0)
+    }
+
+    /// The 99.9th-percentile tail latency.
+    #[must_use]
+    pub fn latency_p999(&self) -> Duration {
+        self.latency_percentile(99.9)
     }
 
     /// The slowest query's latency.
@@ -283,15 +336,15 @@ mod tests {
     }
 
     fn throughput(busy_ms: &[u64], latencies_ms: &[u64]) -> ThroughputMetrics {
-        ThroughputMetrics {
-            pool: metrics(busy_ms),
-            queries_completed: latencies_ms.len(),
-            latencies: latencies_ms
+        ThroughputMetrics::new(
+            metrics(busy_ms),
+            latencies_ms.len(),
+            latencies_ms
                 .iter()
                 .map(|&ms| Duration::from_millis(ms))
                 .collect(),
-            mpl: 4,
-        }
+            4,
+        )
     }
 
     #[test]
@@ -311,6 +364,12 @@ mod tests {
         assert_eq!(t.latency_percentile(50.0), Duration::from_millis(30));
         assert_eq!(t.latency_percentile(100.0), Duration::from_millis(50));
         assert_eq!(t.latency_max(), Duration::from_millis(50));
+        // The tail shorthands agree with explicit percentile calls (served
+        // from the one cached sort).
+        assert_eq!(t.latency_p50(), t.latency_percentile(50.0));
+        assert_eq!(t.latency_p95(), Duration::from_millis(50));
+        assert_eq!(t.latency_p99(), Duration::from_millis(50));
+        assert_eq!(t.latency_p999(), Duration::from_millis(50));
         // An empty run degrades to zeros instead of panicking.
         let empty = throughput(&[100], &[]);
         assert_eq!(empty.latency_mean(), Duration::ZERO);

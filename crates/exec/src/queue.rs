@@ -82,11 +82,12 @@ impl<T> StealDeques<T> {
     }
 
     /// Steals a task from the back of the other deque with the highest
-    /// remaining cost.
+    /// remaining cost, returning the task together with the victim's
+    /// worker index (for steal-event attribution).
     ///
     /// Loads can change between snapshot and steal, so victims are re-checked
     /// under their lock in descending-cost order until one yields a task.
-    pub fn steal(&self, worker: usize) -> Option<T> {
+    pub fn steal(&self, worker: usize) -> Option<(T, usize)> {
         let mut victims: Vec<(u64, usize)> = (0..self.deques.len())
             .filter(|&v| v != worker)
             .map(|v| (self.lock(v).remaining_cost, v))
@@ -97,7 +98,7 @@ impl<T> StealDeques<T> {
             let mut deque = self.lock(victim);
             if let Some((task, cost)) = deque.tasks.pop_back() {
                 deque.remaining_cost -= cost;
-                return Some(task);
+                return Some((task, victim));
             }
         }
         None
@@ -217,7 +218,9 @@ impl FragmentQueue {
         if let Some(task) = self.deques.pop_own(worker) {
             return Some(Claim::Own(task));
         }
-        self.deques.steal(worker).map(Claim::Stolen)
+        self.deques
+            .steal(worker)
+            .map(|(task, _)| Claim::Stolen(task))
     }
 
     /// Total number of unclaimed tasks across all deques.
@@ -284,10 +287,10 @@ mod tests {
         deques.push(0, 10, 1);
         deques.push(0, 11, 1);
         deques.push(1, 20, 100);
-        assert_eq!(deques.steal(2), Some(20));
+        assert_eq!(deques.steal(2), Some((20, 1)));
         // With the expensive task gone, the thief falls back to the longer
         // deque.
-        assert_eq!(deques.steal(2), Some(11));
+        assert_eq!(deques.steal(2), Some((11, 0)));
         assert_eq!(deques.total_len(), 1);
     }
 

@@ -42,13 +42,14 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use obs::{us_from_ms, EventKind, FieldKey, ObsConfig, Trace, TraceRecorder, Track};
 use workload::{BoundQuery, QueryStream};
 
 use crate::engine::{
     merge_partials, placement_seed_order, process_fragment, ExecConfig, FragmentPartial,
     StarJoinEngine,
 };
-use crate::io::{throttle_for, SimulatedIo};
+use crate::io::{throttle_for, ScanCtx, SimulatedIo};
 use crate::metrics::{ExecMetrics, ThroughputMetrics, WorkerMetrics};
 use crate::plan::PredicateBinding;
 use crate::queue::StealDeques;
@@ -102,6 +103,16 @@ impl SchedulerConfig {
         self
     }
 
+    /// Records a deterministic trace of the run (see [`ObsConfig`]):
+    /// query lifecycle, scan and disk-service events on the simulated
+    /// clock plus per-worker task/steal/merge events, returned as
+    /// [`StreamOutcome::trace`].
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.exec = self.exec.with_obs(obs);
+        self
+    }
+
     /// The effective MPL (at least 1).
     #[must_use]
     pub fn mpl(&self) -> usize {
@@ -143,12 +154,17 @@ pub struct StreamOutcome {
     pub queries: Vec<ScheduledQuery>,
     /// Aggregate throughput metrics of the run.
     pub metrics: ThroughputMetrics,
+    /// The recorded trace when [`ObsConfig`] was enabled on the
+    /// configuration.
+    pub trace: Option<Trace>,
 }
 
 /// One claimable unit of work: a fragment of an in-flight query.
 struct Task {
     /// In-flight slot of the owning query.
     slot: usize,
+    /// Submission index of the owning query (trace attribution).
+    query: usize,
     /// Position within the owning plan's fragment list (merge order).
     task: usize,
     /// The store fragment number to process.
@@ -200,6 +216,11 @@ struct Control {
     /// Rotating worker cursor so consecutive small queries start on
     /// different workers instead of all piling onto worker 0.
     seed_cursor: usize,
+    /// Admissions so far — the logical admission clock trace events are
+    /// stamped with when no simulated disk clock exists.  Advanced under
+    /// this lock, in FIFO admission order, so its readings are
+    /// deterministic.
+    admit_seq: u64,
 }
 
 /// Everything the workers share.
@@ -215,6 +236,8 @@ struct Shared {
     /// admission (under the control lock, in admission order — the
     /// deterministic replay order).
     io: Option<SimulatedIo>,
+    /// The run's event sink when tracing is enabled.
+    obs: Option<TraceRecorder>,
     started: Instant,
 }
 
@@ -232,9 +255,45 @@ impl Shared {
             // detlint: allow(wall-clock, reason = "admission-wait latency observability; results are merged deterministically")
             let admitted_at = Instant::now();
             let admission_wait = admitted_at.duration_since(self.started);
+            // The admission timestamp on the deterministic trace clock:
+            // simulated elapsed time before this query's charges, or the
+            // logical admission counter when the I/O layer is off.  Both
+            // depend only on FIFO admission order (queries are charged at
+            // admission, in query-id order, under this lock), so they are
+            // identical across runs, worker counts and MPLs.
+            let admit_us = match &self.io {
+                Some(io) => us_from_ms(io.sim_elapsed_ms()),
+                None => control.admit_seq,
+            };
+            control.admit_seq += 1;
+            if let Some(rec) = &self.obs {
+                rec.record(
+                    Track::Query(query_id as u32),
+                    EventKind::QueryAdmit,
+                    admit_us,
+                    0,
+                    vec![],
+                );
+            }
             if prepared.fragments.is_empty() {
                 // Defensive: plans currently always hold ≥1 fragment, but an
                 // empty one must complete rather than hang the stream.
+                if let Some(rec) = &self.obs {
+                    rec.record(
+                        Track::Query(query_id as u32),
+                        EventKind::Query,
+                        admit_us,
+                        0,
+                        vec![(FieldKey::Fragments, 0)],
+                    );
+                    rec.record(
+                        Track::Query(query_id as u32),
+                        EventKind::QueryComplete,
+                        admit_us,
+                        0,
+                        vec![(FieldKey::Rows, 0)],
+                    );
+                }
                 control.results[query_id] = Some(finalize(
                     query_id,
                     prepared,
@@ -277,11 +336,48 @@ impl Shared {
                     .fragments
                     .iter()
                     .zip(&prepared.fragment_rows)
-                    .map(|(&fragment, &rows)| {
-                        io.charge_scan(fragment, rows, prepared.bitmap_fragments)
+                    .enumerate()
+                    .map(|(task, (&fragment, &rows))| {
+                        io.charge_scan_traced(
+                            fragment,
+                            rows,
+                            prepared.bitmap_fragments,
+                            ScanCtx {
+                                query: query_id as u32,
+                                task: task as u32,
+                            },
+                            self.obs.as_ref(),
+                        )
                     })
                     .collect::<Vec<_>>()
             });
+            if let Some(rec) = &self.obs {
+                // The query's simulated completion time is already decided:
+                // all of its disk work was just charged, so its span on the
+                // deterministic clock closes here, independent of which
+                // workers later execute the tasks (logical time when the
+                // I/O layer is off: admission and completion coincide).
+                let complete_us = charges.as_deref().map_or(admit_us, |charges| {
+                    charges
+                        .iter()
+                        .map(|c| us_from_ms(c.sim_end_ms))
+                        .fold(admit_us, u64::max)
+                });
+                rec.record(
+                    Track::Query(query_id as u32),
+                    EventKind::Query,
+                    admit_us,
+                    complete_us - admit_us,
+                    vec![(FieldKey::Fragments, prepared.fragments.len() as u64)],
+                );
+                rec.record(
+                    Track::Query(query_id as u32),
+                    EventKind::QueryComplete,
+                    complete_us,
+                    0,
+                    vec![],
+                );
+            }
             let steal_by_io = self.io.as_ref().is_some_and(|io| io.config().steal_by_io);
             for (position, &task) in prepared.seed_order.iter().enumerate() {
                 let home = (first + position * workers / tasks) % workers;
@@ -294,6 +390,7 @@ impl Shared {
                     home,
                     Task {
                         slot,
+                        query: query_id,
                         task,
                         fragment: prepared.fragments[task],
                         sim_ms: charge.map_or(0.0, |c| c.sim_ms),
@@ -307,12 +404,13 @@ impl Shared {
 
     /// Deposits one finished task's partial; on a query's last task, frees
     /// the slot, admits the next pending queries, and merges the result.
+    /// Returns the merged query's id when this deposit completed one.
     ///
     /// The deterministic merge (sort + float fold over all of the query's
     /// partials) runs *outside* the control lock so a fat query's
     /// finalisation never stalls the other workers' deposits or the
     /// admission path; only the result store re-takes the lock.
-    fn deposit(&self, task_slot: usize, partial: FragmentPartial) {
+    fn deposit(&self, task_slot: usize, partial: FragmentPartial) -> Option<usize> {
         let mut done = {
             let mut control = self.lock_control();
             let in_flight = control.slots[task_slot]
@@ -321,7 +419,7 @@ impl Shared {
             in_flight.partials.push(partial);
             in_flight.remaining -= 1;
             if in_flight.remaining > 0 {
-                return;
+                return None;
             }
             let done = control.slots[task_slot].take().expect("slot just used");
             control.free_slots.push(task_slot);
@@ -349,6 +447,7 @@ impl Shared {
             // Nothing left anywhere: wake everyone so they observe the end.
             self.work.notify_all();
         }
+        Some(done.query_id)
     }
 
     fn lock_control(&self) -> MutexGuard<'_, Control> {
@@ -391,11 +490,14 @@ fn worker_loop(shared: &Shared, engine: &StarJoinEngine, worker: usize) -> Worke
         worker,
         ..WorkerMetrics::default()
     };
+    // This worker's position on its own simulated timeline (see the engine's
+    // `run_worker`): thread-attributed trace events are stamped from it.
+    let mut sim_cursor_ms = 0.0f64;
     loop {
-        let (task, stolen) = match shared.deques.pop_own(worker) {
-            Some(task) => (task, false),
+        let (task, stolen_from) = match shared.deques.pop_own(worker) {
+            Some(task) => (task, None),
             None => match shared.deques.steal(worker) {
-                Some(task) => (task, true),
+                Some((task, victim)) => (task, Some(victim)),
                 None => {
                     let mut control = shared.lock_control();
                     if control.unfinished == 0 {
@@ -417,6 +519,7 @@ fn worker_loop(shared: &Shared, engine: &StarJoinEngine, worker: usize) -> Worke
         };
         // detlint: allow(wall-clock, reason = "per-task busy-time metrics; never part of query results")
         let task_started = Instant::now();
+        let stolen = stolen_from.is_some();
         throttle_for(task.sim_ms, wall_ns_per_sim_ms);
         metrics.sim_io_ms += task.sim_ms;
         let fragment = store.fragment(task.fragment);
@@ -428,7 +531,47 @@ fn worker_loop(shared: &Shared, engine: &StarJoinEngine, worker: usize) -> Worke
         metrics.fragments_compressed += usize::from(compressed);
         metrics.rows_scanned += partial.rows;
         metrics.rows_matched += partial.hits;
-        shared.deposit(task.slot, partial);
+        if let Some(rec) = &shared.obs {
+            let ts_us = us_from_ms(sim_cursor_ms);
+            if let Some(victim) = stolen_from {
+                rec.record(
+                    Track::Worker(worker as u32),
+                    EventKind::Steal,
+                    ts_us,
+                    0,
+                    vec![
+                        (FieldKey::Query, task.query as u64),
+                        (FieldKey::Task, task.task as u64),
+                        (FieldKey::Victim, victim as u64),
+                    ],
+                );
+            }
+            rec.record(
+                Track::Worker(worker as u32),
+                EventKind::TaskRun,
+                ts_us,
+                us_from_ms(task.sim_ms),
+                vec![
+                    (FieldKey::Query, task.query as u64),
+                    (FieldKey::Task, task.task as u64),
+                    (FieldKey::Fragment, task.fragment),
+                    (FieldKey::Rows, partial.rows),
+                    (FieldKey::Stolen, u64::from(stolen)),
+                    (FieldKey::SimMsBits, task.sim_ms.to_bits()),
+                ],
+            );
+        }
+        sim_cursor_ms += task.sim_ms;
+        let completed = shared.deposit(task.slot, partial);
+        if let (Some(rec), Some(query)) = (&shared.obs, completed) {
+            rec.record(
+                Track::Worker(worker as u32),
+                EventKind::Merge,
+                us_from_ms(sim_cursor_ms),
+                0,
+                vec![(FieldKey::Query, query as u64)],
+            );
+        }
     }
     metrics
 }
@@ -496,6 +639,27 @@ impl<'e> QueryScheduler<'e> {
         // execution throughput, not upfront plan time.
         // detlint: allow(wall-clock, reason = "stream run clock for qps/latency observability; results never depend on it")
         let started = Instant::now();
+        let recorder = self
+            .config
+            .exec
+            .obs
+            .enabled
+            .then(|| TraceRecorder::new(self.config.exec.obs.capacity));
+        if let Some(rec) = &recorder {
+            // Submission and planning happen before the run clock starts:
+            // both land at logical time 0, in query-id order.
+            for (query_id, prepared) in prepared.iter().enumerate() {
+                let track = Track::Query(query_id as u32);
+                rec.record(track, EventKind::QuerySubmit, 0, 0, vec![]);
+                rec.record(
+                    track,
+                    EventKind::QueryPlan,
+                    0,
+                    0,
+                    vec![(FieldKey::Fragments, prepared.fragments.len() as u64)],
+                );
+            }
+        }
         let shared = Shared {
             deques: StealDeques::new(workers),
             control: Mutex::new(Control {
@@ -506,6 +670,7 @@ impl<'e> QueryScheduler<'e> {
                 unfinished: query_count,
                 results: (0..query_count).map(|_| None).collect(),
                 seed_cursor: 0,
+                admit_seq: 0,
             }),
             work: Condvar::new(),
             prepared,
@@ -516,6 +681,7 @@ impl<'e> QueryScheduler<'e> {
                 .exec
                 .io
                 .map(|io_config| SimulatedIo::new(io_config, store.schema())),
+            obs: recorder,
             started,
         };
 
@@ -545,6 +711,7 @@ impl<'e> QueryScheduler<'e> {
         worker_metrics.sort_by_key(|m| m.worker);
 
         let io_metrics = shared.io.as_ref().map(SimulatedIo::metrics);
+        let trace = shared.obs.map(TraceRecorder::into_trace);
         let control = shared.control.into_inner().expect("control lock poisoned");
         let results: Vec<ScheduledQuery> = control
             .results
@@ -552,19 +719,21 @@ impl<'e> QueryScheduler<'e> {
             .map(|r| r.expect("every submitted query completed"))
             .collect();
         let latencies = results.iter().map(|r| r.latency).collect();
+        let queries_completed = results.len();
         StreamOutcome {
-            metrics: ThroughputMetrics {
-                pool: ExecMetrics {
+            metrics: ThroughputMetrics::new(
+                ExecMetrics {
                     workers: worker_metrics,
                     wall,
                     planned_fragments: total_tasks,
                     io: io_metrics,
                 },
-                queries_completed: results.len(),
+                queries_completed,
                 latencies,
-                mpl: self.config.mpl(),
-            },
+                self.config.mpl(),
+            ),
             queries: results,
+            trace,
         }
     }
 }
@@ -854,6 +1023,64 @@ mod prop_tests {
                         baseline.measure_sums.iter().map(|s| s.to_bits()).collect();
                     prop_assert_eq!(scheduled_bits, baseline_bits);
                 }
+            }
+        }
+
+        /// For random streams with tracing enabled, the deterministic trace
+        /// section (query lifecycle, scans, disk service on the simulated
+        /// clock) is bit-identical across runs, worker counts and MPLs —
+        /// same canonical events, same digest — with and without the I/O
+        /// layer.
+        #[test]
+        fn prop_trace_deterministic_section_is_bit_identical(
+            type_seeds in proptest::collection::vec(0usize..5, 1..6),
+            raw_values in proptest::collection::vec(0u64..100_000, 16),
+            seed in 1u64..1_000,
+            with_io in proptest::bool::ANY,
+        ) {
+            let schema = tiny_schema();
+            let fragmentation =
+                Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+            let store = FragmentStore::build(&schema, &fragmentation, seed);
+            let engine = StarJoinEngine::new(store);
+
+            let mut raw = raw_values.iter().cycle();
+            let queries: Vec<BoundQuery> = type_seeds
+                .iter()
+                .map(|&type_idx| {
+                    let shape = QueryType::standard_mix()[type_idx].to_star_query(&schema);
+                    let values: Vec<u64> = shape
+                        .predicates()
+                        .iter()
+                        .map(|p| raw.next().unwrap() % p.attr.cardinality(&schema))
+                        .collect();
+                    BoundQuery::new(&schema, shape, values)
+                })
+                .collect();
+
+            let config = |workers: usize, mpl: usize| {
+                let mut config = SchedulerConfig::new(workers, mpl)
+                    .with_obs(obs::ObsConfig::enabled());
+                if with_io {
+                    config = config.with_io(crate::io::IoConfig::with_disks(4).cache(10_000));
+                }
+                config
+            };
+
+            let reference = engine
+                .execute_stream(&queries, &config(1, 1))
+                .trace
+                .expect("tracing enabled");
+            prop_assert_eq!(reference.dropped, 0);
+            let reference_events = reference.deterministic_events();
+            for (workers, mpl) in [(1usize, 1usize), (2, 2), (4, 8), (3, 1)] {
+                let trace = engine
+                    .execute_stream(&queries, &config(workers, mpl))
+                    .trace
+                    .expect("tracing enabled");
+                prop_assert_eq!(trace.dropped, 0);
+                prop_assert_eq!(trace.digest(), reference.digest());
+                prop_assert_eq!(&trace.deterministic_events(), &reference_events);
             }
         }
     }

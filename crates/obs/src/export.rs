@@ -1,0 +1,406 @@
+//! Exporters: Chrome `trace_event` JSON and Prometheus-style text
+//! exposition.
+//!
+//! Both formats are rendered with deterministic ordering (canonical event
+//! sort, insertion-ordered metric families) so exported artifacts of a
+//! deterministic run diff clean across machines and reruns.
+
+use crate::histogram::Histogram;
+use crate::trace::{EventKind, Trace, TraceEvent, Track};
+
+/// The Chrome `trace_event` process ids the three track families map to.
+const PID_QUERIES: u32 = 1;
+const PID_WORKERS: u32 = 2;
+const PID_DISKS: u32 = 3;
+
+fn track_ids(track: Track) -> (u32, u32, &'static str) {
+    match track {
+        Track::Query(id) => (PID_QUERIES, id, "query"),
+        Track::Worker(id) => (PID_WORKERS, id, "worker"),
+        Track::Disk(id) => (PID_DISKS, id, "disk"),
+    }
+}
+
+/// Whether an event renders as a complete span (`"ph":"X"`) or a
+/// thread-scoped instant (`"ph":"i"`).
+fn is_span(kind: EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::Query | EventKind::Scan | EventKind::DiskService | EventKind::TaskRun
+    )
+}
+
+fn push_event(out: &mut String, event: &TraceEvent) {
+    let (pid, tid, _) = track_ids(event.track);
+    out.push_str("{\"name\":\"");
+    out.push_str(event.kind.name());
+    out.push_str("\",\"ph\":\"");
+    if is_span(event.kind) {
+        out.push_str("X\",\"dur\":");
+        out.push_str(&event.dur_us.to_string());
+    } else {
+        out.push_str("i\",\"s\":\"t\"");
+    }
+    out.push_str(",\"pid\":");
+    out.push_str(&pid.to_string());
+    out.push_str(",\"tid\":");
+    out.push_str(&tid.to_string());
+    out.push_str(",\"ts\":");
+    out.push_str(&event.ts_us.to_string());
+    out.push_str(",\"args\":{");
+    for (i, (key, value)) in event.fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(key.name());
+        out.push_str("\":");
+        out.push_str(&value.to_string());
+    }
+    out.push_str("}}");
+}
+
+fn push_metadata(out: &mut String, name: &str, pid: u32, tid: Option<u32>, value: &str) {
+    out.push_str("{\"name\":\"");
+    out.push_str(name);
+    out.push_str("\",\"ph\":\"M\",\"pid\":");
+    out.push_str(&pid.to_string());
+    if let Some(tid) = tid {
+        out.push_str(",\"tid\":");
+        out.push_str(&tid.to_string());
+    }
+    out.push_str(",\"args\":{\"name\":\"");
+    out.push_str(value);
+    out.push_str("\"}}");
+}
+
+/// Renders `trace` as Chrome `trace_event` JSON — load the result in
+/// `about:tracing` or <https://ui.perfetto.dev>.  One process per track
+/// family (queries, workers, disks), one named thread per track; events
+/// are sorted canonically (track, time, kind) so the file is
+/// bit-reproducible for deterministic traces.
+#[must_use]
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut sorted: Vec<&TraceEvent> = trace.events.iter().collect();
+    sorted.sort_by_key(|e| (e.track, e.ts_us, e.kind, e.dur_us, e.seq));
+
+    let mut tracks: Vec<Track> = sorted.iter().map(|e| e.track).collect();
+    tracks.dedup();
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let sep = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+    };
+    for (pid, name) in [
+        (PID_QUERIES, "queries"),
+        (PID_WORKERS, "workers"),
+        (PID_DISKS, "disks"),
+    ] {
+        sep(&mut out, &mut first);
+        push_metadata(&mut out, "process_name", pid, None, name);
+    }
+    for track in tracks {
+        let (pid, tid, family) = track_ids(track);
+        sep(&mut out, &mut first);
+        push_metadata(
+            &mut out,
+            "thread_name",
+            pid,
+            Some(tid),
+            &format!("{family} {tid}"),
+        );
+    }
+    for event in sorted {
+        sep(&mut out, &mut first);
+        push_event(&mut out, event);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// What a metric family is, for the `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    fn name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Samples {
+    /// `(label pairs, value)` per sample.
+    Scalar(Vec<(Vec<(String, String)>, f64)>),
+    Histogram(Histogram),
+}
+
+#[derive(Debug, Clone)]
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    samples: Samples,
+}
+
+/// A Prometheus-style text exposition builder: counters, gauges and
+/// [`Histogram`]s rendered in insertion order with deterministic
+/// formatting.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    families: Vec<Family>,
+}
+
+impl Exposition {
+    /// An empty exposition.
+    #[must_use]
+    pub fn new() -> Self {
+        Exposition::default()
+    }
+
+    fn scalar(
+        &mut self,
+        kind: MetricKind,
+        name: &str,
+        help: &str,
+        labels: &[(&str, String)],
+        value: f64,
+    ) {
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), v.clone()))
+            .collect();
+        if let Some(family) = self.families.iter_mut().find(|f| f.name == name) {
+            if let Samples::Scalar(samples) = &mut family.samples {
+                samples.push((labels, value));
+            }
+            return;
+        }
+        self.families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            samples: Samples::Scalar(vec![(labels, value)]),
+        });
+    }
+
+    /// Adds one counter sample; repeat with different labels for a family.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, String)], value: f64) {
+        self.scalar(MetricKind::Counter, name, help, labels, value);
+    }
+
+    /// Adds one gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, String)], value: f64) {
+        self.scalar(MetricKind::Gauge, name, help, labels, value);
+    }
+
+    /// Adds one histogram family (cumulative `_bucket{le=…}` lines plus
+    /// `_sum` and `_count`).
+    pub fn histogram(&mut self, name: &str, help: &str, histogram: &Histogram) {
+        self.families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind: MetricKind::Histogram,
+            samples: Samples::Histogram(histogram.clone()),
+        });
+    }
+
+    /// Renders the exposition text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for family in &self.families {
+            out.push_str("# HELP ");
+            out.push_str(&family.name);
+            out.push(' ');
+            out.push_str(&family.help);
+            out.push_str("\n# TYPE ");
+            out.push_str(&family.name);
+            out.push(' ');
+            out.push_str(family.kind.name());
+            out.push('\n');
+            match &family.samples {
+                Samples::Scalar(samples) => {
+                    for (labels, value) in samples {
+                        out.push_str(&family.name);
+                        push_labels(&mut out, labels);
+                        out.push(' ');
+                        out.push_str(&format_value(*value));
+                        out.push('\n');
+                    }
+                }
+                Samples::Histogram(histogram) => {
+                    let mut cumulative = 0u64;
+                    for (le, count) in histogram.nonzero_buckets() {
+                        cumulative += count;
+                        out.push_str(&family.name);
+                        out.push_str("_bucket{le=\"");
+                        out.push_str(&le.to_string());
+                        out.push_str("\"} ");
+                        out.push_str(&cumulative.to_string());
+                        out.push('\n');
+                    }
+                    out.push_str(&family.name);
+                    out.push_str("_bucket{le=\"+Inf\"} ");
+                    out.push_str(&histogram.count().to_string());
+                    out.push('\n');
+                    out.push_str(&family.name);
+                    out.push_str("_sum ");
+                    out.push_str(&histogram.sum().to_string());
+                    out.push('\n');
+                    out.push_str(&family.name);
+                    out.push_str("_count ");
+                    out.push_str(&histogram.count().to_string());
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+}
+
+fn push_labels(out: &mut String, labels: &[(String, String)]) {
+    if labels.is_empty() {
+        return;
+    }
+    out.push('{');
+    for (i, (key, value)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(key);
+        out.push_str("=\"");
+        out.push_str(value);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Deterministic float formatting: integers render without a fraction,
+/// everything else through Rust's shortest-roundtrip `Display`.
+fn format_value(value: f64) -> String {
+    if value.fract() == 0.0 && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{FieldKey, TraceRecorder};
+
+    fn sample_trace() -> Trace {
+        let recorder = TraceRecorder::new(16);
+        recorder.record(
+            Track::Query(0),
+            EventKind::Scan,
+            10,
+            5,
+            vec![(FieldKey::Rows, 42)],
+        );
+        recorder.record(Track::Query(0), EventKind::QuerySubmit, 0, 0, vec![]);
+        recorder.record(
+            Track::Worker(1),
+            EventKind::TaskRun,
+            0,
+            5,
+            vec![(FieldKey::Task, 0)],
+        );
+        recorder.record(Track::Disk(2), EventKind::DiskService, 3, 2, vec![]);
+        recorder.into_trace()
+    }
+
+    #[test]
+    fn chrome_json_names_tracks_and_sorts_canonically() {
+        let json = chrome_trace_json(&sample_trace());
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        for needle in [
+            "\"process_name\"",
+            "\"queries\"",
+            "\"workers\"",
+            "\"disks\"",
+            "\"query 0\"",
+            "\"worker 1\"",
+            "\"disk 2\"",
+            "\"name\":\"scan\"",
+            "\"ph\":\"X\"",
+            "\"ph\":\"i\"",
+            "\"rows\":42",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // Query-track events come before worker- and disk-track events, and
+        // the submit instant (ts 0) precedes the scan span (ts 10).
+        let submit = json.find("query_submit").expect("submit present");
+        let scan = json.find("\"name\":\"scan\"").expect("scan present");
+        let task = json.find("task_run").expect("task present");
+        assert!(submit < scan && scan < task);
+        // Balanced braces — a cheap well-formedness check without a parser.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON braces"
+        );
+        // Identical traces render identical JSON.
+        assert_eq!(json, chrome_trace_json(&sample_trace()));
+    }
+
+    #[test]
+    fn exposition_renders_counters_gauges_and_histograms() {
+        let mut exposition = Exposition::new();
+        exposition.counter("rows_scanned_total", "Fact rows scanned.", &[], 1234.0);
+        exposition.counter(
+            "disk_cache_hits_total",
+            "Cache hits per disk.",
+            &[("disk", "0".to_string())],
+            10.0,
+        );
+        exposition.counter(
+            "disk_cache_hits_total",
+            "Cache hits per disk.",
+            &[("disk", "1".to_string())],
+            7.0,
+        );
+        exposition.gauge("worker_utilisation", "Busy fraction.", &[], 0.5);
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(200);
+        exposition.histogram("scan_sim_us", "Simulated scan time (us).", &h);
+        let text = exposition.render();
+        for needle in [
+            "# HELP rows_scanned_total Fact rows scanned.",
+            "# TYPE rows_scanned_total counter",
+            "rows_scanned_total 1234",
+            "disk_cache_hits_total{disk=\"0\"} 10",
+            "disk_cache_hits_total{disk=\"1\"} 7",
+            "# TYPE worker_utilisation gauge",
+            "worker_utilisation 0.5",
+            "# TYPE scan_sim_us histogram",
+            "scan_sim_us_bucket{le=\"3\"} 1",
+            "scan_sim_us_bucket{le=\"+Inf\"} 2",
+            "scan_sim_us_sum 203",
+            "scan_sim_us_count 2",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        // The HELP line for a repeated family is emitted once.
+        assert_eq!(text.matches("# HELP disk_cache_hits_total").count(), 1);
+        // Deterministic rendering.
+        assert_eq!(text, exposition.render());
+    }
+}

@@ -1,0 +1,373 @@
+//! A log-bucketed, mergeable histogram with deterministic percentiles.
+//!
+//! Values (`u64`, typically simulated microseconds) land in
+//! power-of-two octaves split into [`Histogram::SUB_BUCKETS`] linear
+//! sub-buckets — ≤ 1/16 (6.25 %) relative bucket width, the classic
+//! HDR-histogram layout without the dependency.  Because a percentile is
+//! resolved to its bucket's **upper bound** by a pure rank walk over the
+//! counts, it depends only on the multiset of bucket counts:
+//! merge-then-percentile equals percentile-over-concatenation, *exactly* —
+//! the property the proptests pin and the reason per-worker histograms can
+//! be combined without re-recording.
+
+/// Fixed-layout log-bucketed histogram; see the [module docs](self).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// Linear sub-buckets per octave as a power of two.
+const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Total buckets: the exact `0..SUB` range plus `SUB` sub-buckets for each
+/// remaining octave.
+const BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// The bucket index of `value`.
+fn bucket_index(value: u64) -> usize {
+    if value < SUB as u64 {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros();
+    let sub = ((value >> (exp - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    SUB + ((exp - SUB_BITS) as usize) * SUB + sub
+}
+
+/// The largest value contained in bucket `index` — what percentiles
+/// resolve to.
+fn bucket_high(index: usize) -> u64 {
+    if index < SUB {
+        return index as u64;
+    }
+    let exp = SUB_BITS + ((index - SUB) / SUB) as u32;
+    let sub = ((index - SUB) % SUB) as u64;
+    let low = (1u64 << exp) + (sub << (exp - SUB_BITS));
+    // Parenthesised so the top bucket's bound lands exactly on `u64::MAX`
+    // without the intermediate sum overflowing.
+    low + ((1u64 << (exp - SUB_BITS)) - 1)
+}
+
+impl Histogram {
+    /// Linear sub-buckets per octave (relative bucket width ≤ 1/16).
+    pub const SUB_BUCKETS: usize = SUB;
+
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` observations of `value`.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(value)] += n;
+        self.count += n;
+        self.sum += u128::from(value) * u128::from(n);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Folds `other`'s buckets into `self` — exactly equivalent to having
+    /// recorded both value streams into one histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// The `p`-th percentile (nearest rank), resolved to the containing
+    /// bucket's upper bound and clamped to the recorded maximum; `p` is
+    /// clamped to `[0, 100]`.  Returns 0 when empty.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // Nearest-rank: the smallest rank covering p percent, at least 1.
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (index, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_high(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// p50 shorthand.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// p95 shorthand.
+    #[must_use]
+    pub fn p95(&self) -> u64 {
+        self.percentile(95.0)
+    }
+
+    /// p99 shorthand.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// p99.9 shorthand.
+    #[must_use]
+    pub fn p999(&self) -> u64 {
+        self.percentile(99.9)
+    }
+
+    /// Non-empty buckets as `(upper bound, count)` in ascending value
+    /// order — the exposition format's bucket boundaries.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(index, &n)| (bucket_high(index), n))
+            .collect()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        // Every value maps into a bucket whose upper bound is >= the value
+        // and within 1/16 relative error; indices never decrease.
+        let mut last = 0;
+        for value in 0u64..4_096 {
+            let index = bucket_index(value);
+            assert!(index >= last, "index regressed at {value}");
+            last = index;
+        }
+        for value in [0u64, 15, 16, 1 << 20, u64::MAX / 3, u64::MAX] {
+            let index = bucket_index(value);
+            assert!(index < BUCKETS);
+            let high = bucket_high(index);
+            assert!(high >= value, "value {value} above bucket high {high}");
+            assert!(
+                high - value <= value / SUB as u64 + 1,
+                "bucket too wide at {value}: high {high}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_below_sixteen_and_bounded_error_above() {
+        let mut h = Histogram::new();
+        for v in 0..16 {
+            h.record(v);
+        }
+        // Small values resolve exactly.
+        assert_eq!(h.percentile(100.0), 15);
+        assert_eq!(h.min(), 0);
+        let mut big = Histogram::new();
+        big.record(1_000_000);
+        let p = big.percentile(50.0);
+        assert_eq!(p, 1_000_000); // clamped to max
+    }
+
+    #[test]
+    fn percentiles_walk_ranks() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+        // Bucket resolution: p50 lands in the bucket holding rank 50.
+        let p50 = h.p50();
+        assert!((50..=53).contains(&p50), "{p50}");
+        assert!(h.p95() >= 95);
+        assert!(h.p99() >= 99);
+        assert_eq!(h.percentile(100.0), 100);
+        assert!(h.p999() <= 100);
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99() && h.p99() <= h.p999());
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [3u64, 17, 900, 3, 65_000] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [1u64, 17, 1_000_000, 0] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = Histogram::new();
+        bulk.record_n(42, 5);
+        bulk.record_n(7, 0); // no-op
+        let mut one_by_one = Histogram::new();
+        for _ in 0..5 {
+            one_by_one.record(42);
+        }
+        assert_eq!(bulk, one_by_one);
+        // 42 lands in the [42, 43] bucket (width 2 in its octave).
+        assert_eq!(bulk.nonzero_buckets(), vec![(43, 5)]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Merge-then-percentile equals percentile-over-concatenation for
+        /// arbitrary value streams and percentiles — the mergeability
+        /// contract.
+        #[test]
+        fn prop_merge_percentiles_equal_concatenated_percentiles(
+            left in proptest::collection::vec(0u64..1u64 << 48, 0..200),
+            right in proptest::collection::vec(0u64..1u64 << 48, 0..200),
+            p in 0.0f64..100.0,
+        ) {
+            let mut a = Histogram::new();
+            let mut concatenated = Histogram::new();
+            for &v in &left {
+                a.record(v);
+                concatenated.record(v);
+            }
+            let mut b = Histogram::new();
+            for &v in &right {
+                b.record(v);
+                concatenated.record(v);
+            }
+            a.merge(&b);
+            prop_assert_eq!(&a, &concatenated);
+            prop_assert_eq!(a.percentile(p), concatenated.percentile(p));
+            for q in [0.0, 50.0, 95.0, 99.0, 99.9, 100.0] {
+                prop_assert_eq!(a.percentile(q), concatenated.percentile(q));
+            }
+        }
+
+        /// Percentiles are monotone in p, bounded by min/max, and the
+        /// resolved bucket bound is within 1/16 relative error of some
+        /// recorded value.
+        #[test]
+        fn prop_percentiles_are_monotone_and_bounded(
+            values in proptest::collection::vec(0u64..1u64 << 48, 1..200),
+        ) {
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let ps = [0.0, 10.0, 50.0, 90.0, 99.0, 100.0];
+            let resolved: Vec<u64> = ps.iter().map(|&p| h.percentile(p)).collect();
+            for pair in resolved.windows(2) {
+                prop_assert!(pair[0] <= pair[1]);
+            }
+            let max = *values.iter().max().expect("non-empty");
+            prop_assert_eq!(h.percentile(100.0), max);
+            for &r in &resolved {
+                prop_assert!(r <= max);
+                // Each resolved bound is >= some recorded value and within
+                // one bucket width of it.
+                let nearest_below = values.iter().copied().filter(|&v| v <= r).max();
+                prop_assert!(nearest_below.is_some());
+                let v = nearest_below.expect("checked");
+                prop_assert!(r - v <= v / 16 + 1);
+            }
+        }
+    }
+}

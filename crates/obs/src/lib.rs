@@ -1,0 +1,108 @@
+//! `obs` — deterministic tracing and metrics exposition for the execution
+//! pillar.
+//!
+//! The paper's contribution is *explaining* parallel star-join performance —
+//! per-disk utilisation, skew-induced imbalance, multi-user response-time
+//! distributions — and end-of-run aggregates cannot tell *when* a worker
+//! idled or *which* query's scan queued behind which disk.  This crate
+//! supplies the missing event layer, built around one non-negotiable
+//! property: **traces are deterministic**.  Events are timestamped from the
+//! *simulated* disk clock (or a logical admission counter when the I/O layer
+//! is off), never from wall time, so the deterministic section of a trace is
+//! bit-identical across runs, worker counts and MPLs — and therefore
+//! testable, exactly like the execution results it describes.
+//!
+//! The pieces:
+//!
+//! * [`TraceRecorder`] — a bounded, mutex-protected ring of typed
+//!   [`TraceEvent`]s with explicit drop accounting: when the ring is full
+//!   the *newest* event is dropped and counted, never silently lost.
+//! * [`Trace`] — the recorded events plus helpers that split them into the
+//!   **deterministic section** (query lifecycle, scan and disk-service
+//!   events, derived purely from the simulated charge order) and the
+//!   thread-attributed section (per-worker task/steal/merge events, exact
+//!   within one run but scheduled by the OS), with a canonical sort and a
+//!   [`Trace::digest`] over the deterministic section.
+//! * [`Histogram`] — log-bucketed (16 sub-buckets per octave, ≤ 6.25 %
+//!   relative error) with *mergeable* buckets: merge-then-percentile equals
+//!   percentile-over-concatenation, exactly.
+//! * [`export`] — Chrome `trace_event` JSON (one track per query, worker and
+//!   disk; loadable in `about:tracing` / Perfetto) and a Prometheus-style
+//!   text exposition of counters and histograms.
+//!
+//! The crate is dependency-free and knows nothing about the executor; the
+//! `exec` crate records into it behind an [`ObsConfig`] that costs nothing
+//! when disabled.
+
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod export;
+pub mod histogram;
+pub mod trace;
+
+pub use clock::{us_from_ms, LogicalClock};
+pub use export::{chrome_trace_json, Exposition};
+pub use histogram::Histogram;
+pub use trace::{EventKind, FieldKey, Trace, TraceEvent, TraceRecorder, Track};
+
+/// Switches event recording on for an execution run.
+///
+/// Disabled (the default) is zero-cost: no ring is allocated and every
+/// recording site reduces to an `Option::None` check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Record a trace for the run.
+    pub enabled: bool,
+    /// Ring-buffer capacity in events; overflowing events are dropped
+    /// (newest first) and counted in [`Trace::dropped`].  Clamped to at
+    /// least 1.
+    pub capacity: usize,
+}
+
+impl ObsConfig {
+    /// Default ring capacity: comfortably holds the event volume of the
+    /// repository's experiment sweeps.
+    pub const DEFAULT_CAPACITY: usize = 1 << 18;
+
+    /// Recording enabled at the default capacity.
+    #[must_use]
+    pub fn enabled() -> Self {
+        ObsConfig {
+            enabled: true,
+            capacity: Self::DEFAULT_CAPACITY,
+        }
+    }
+
+    /// Sets the ring capacity.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+}
+
+impl Default for ObsConfig {
+    /// Recording disabled.
+    fn default() -> Self {
+        ObsConfig {
+            enabled: false,
+            capacity: Self::DEFAULT_CAPACITY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_to_disabled() {
+        let config = ObsConfig::default();
+        assert!(!config.enabled);
+        assert_eq!(config.capacity, ObsConfig::DEFAULT_CAPACITY);
+        let on = ObsConfig::enabled().with_capacity(64);
+        assert!(on.enabled);
+        assert_eq!(on.capacity, 64);
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`workload`] — APB-1-style query types and generators,
 //! * [`exec`] — the multi-threaded parallel star-join execution engine over
 //!   materialised MDHF fragments (measured wall-clock speedup),
+//! * [`obs`] — deterministic tracing and metrics exposition over the
+//!   engine's simulated clock (Chrome `trace_event` + Prometheus text),
 //! * [`simpad`] — the Shared Disk discrete-event simulator,
 //! * [`simkit`] — the underlying simulation engine.
 //!
@@ -44,6 +46,7 @@ pub use allocation;
 pub use bitmap;
 pub use exec;
 pub use mdhf;
+pub use obs;
 pub use schema;
 pub use simkit;
 pub use simpad;
@@ -58,9 +61,9 @@ pub mod prelude {
         WahBitmap,
     };
     pub use exec::{
-        DiskIoStats, ExecConfig, ExecMetrics, FragmentStore, IoConfig, IoMetrics, QueryPlan,
-        QueryResult, QueryScheduler, ScheduledQuery, SchedulerConfig, SimulatedIo, StarJoinEngine,
-        StreamOutcome, ThroughputMetrics,
+        DiskIoStats, ExecConfig, ExecMetrics, FragmentStore, IoConfig, IoMetrics, ObsConfig,
+        QueryPlan, QueryResult, QueryScheduler, ScheduledQuery, SchedulerConfig, SimulatedIo,
+        StarJoinEngine, StreamOutcome, ThroughputMetrics,
     };
     pub use mdhf::{
         classify, Advisor, AdvisorConfig, CostModel, Fragmentation, IoClass, QueryClass, StarQuery,
