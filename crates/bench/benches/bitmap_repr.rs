@@ -1,7 +1,8 @@
 //! Criterion benches of the bitmap representation layer: k-way intersection
-//! under plain, WAH and adaptive representations, on a sparse clustered
-//! predicate mix (where the compressed domain should win or tie) and a
-//! mid-density random mix (where adaptive must fall back to plain speed).
+//! under plain, WAH, roaring and adaptive representations, on a sparse
+//! clustered predicate mix (where the compressed domain should win or tie)
+//! and a mid-density random mix (where adaptive must fall back to plain
+//! speed), plus the unrolled plain word kernels themselves.
 
 use bench_support::{random_bitmap, sparse_clustered_bitmap};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -14,6 +15,8 @@ fn bench_mix(c: &mut Criterion, label: &str, bitmaps: &[Bitmap]) {
     let plain_refs: Vec<&Bitmap> = bitmaps.iter().collect();
     let wah: Vec<WahBitmap> = bitmaps.iter().map(WahBitmap::compress).collect();
     let wah_refs: Vec<&WahBitmap> = wah.iter().collect();
+    let roaring: Vec<RoaringBitmap> = bitmaps.iter().map(RoaringBitmap::compress).collect();
+    let roaring_refs: Vec<&RoaringBitmap> = roaring.iter().collect();
     let adaptive: Vec<BitmapRepr> = bitmaps
         .iter()
         .map(|b| BitmapRepr::from_bitmap(b.clone(), RepresentationPolicy::default()))
@@ -26,6 +29,9 @@ fn bench_mix(c: &mut Criterion, label: &str, bitmaps: &[Bitmap]) {
     });
     group.bench_function("wah_and_many", |bencher| {
         bencher.iter(|| std::hint::black_box(WahBitmap::and_many(&wah_refs)))
+    });
+    group.bench_function("roaring_and_many", |bencher| {
+        bencher.iter(|| std::hint::black_box(RoaringBitmap::and_many(&roaring_refs)))
     });
     group.bench_function("adaptive_and_many", |bencher| {
         bencher.iter(|| std::hint::black_box(BitmapRepr::and_many(&adaptive_refs)))
@@ -46,5 +52,36 @@ fn bench_mid_density(c: &mut Criterion) {
     bench_mix(c, "repr_mid_random_50pct", &bitmaps);
 }
 
-criterion_group!(benches, bench_sparse, bench_mid_density);
+/// The unrolled plain word kernels on dense operands, where the kernel body
+/// (not representation bookkeeping) dominates: pairwise AND/OR, the k-way
+/// fold for k ∈ {2, 8}, and the four-accumulator popcount.
+fn bench_unrolled_kernels(c: &mut Criterion) {
+    let bitmaps: Vec<Bitmap> = (0..8u64).map(|s| random_bitmap(N, s, 2)).collect();
+    let refs: Vec<&Bitmap> = bitmaps.iter().collect();
+
+    let mut group = c.benchmark_group("plain_unrolled_kernels");
+    group.bench_function("and_pairwise", |bencher| {
+        bencher.iter(|| std::hint::black_box(bitmaps[0].and(&bitmaps[1])))
+    });
+    group.bench_function("or_pairwise", |bencher| {
+        bencher.iter(|| std::hint::black_box(bitmaps[0].or(&bitmaps[1])))
+    });
+    group.bench_function("and_many_k2", |bencher| {
+        bencher.iter(|| std::hint::black_box(Bitmap::and_many(&refs[..2])))
+    });
+    group.bench_function("and_many_k8", |bencher| {
+        bencher.iter(|| std::hint::black_box(Bitmap::and_many(&refs)))
+    });
+    group.bench_function("count_ones", |bencher| {
+        bencher.iter(|| std::hint::black_box(bitmaps[0].count_ones()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sparse,
+    bench_mid_density,
+    bench_unrolled_kernels
+);
 criterion_main!(benches);

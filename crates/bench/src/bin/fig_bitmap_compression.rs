@@ -1,5 +1,5 @@
-//! Bitmap representation study: plain vs. WAH vs. adaptive, across
-//! predicate densities.
+//! Bitmap representation study: plain vs. WAH vs. roaring vs. adaptive,
+//! across predicate densities.
 //!
 //! The paper stores every bitmap verbatim and only notes that the overhead
 //! "may be reduced by compressing the bitmaps"; the representation layer
@@ -11,7 +11,8 @@
 //!   each representation policy, and the adaptive compression ratio,
 //! * **intersection throughput** — wall time of the k-way AND under each
 //!   policy (plain `Bitmap::and_many`, compressed-domain
-//!   `WahBitmap::and_many`, and the policy-chosen `BitmapRepr::and_many`).
+//!   `WahBitmap::and_many` and `RoaringBitmap::and_many`, and the
+//!   policy-chosen `BitmapRepr::and_many`).
 //!
 //! A second section measures a real [`FragmentStore`] build and shows the
 //! measured ratio flowing into the compressed bitmap-fragment page sizing
@@ -90,16 +91,18 @@ fn main() {
     println!("Bitmap representation study: {k}-way intersection over {n}-bit bitmaps");
     println!("(sizes are the sum over the {k} predicate bitmaps; times are best-of-{repeats})");
     println!();
-    let widths = [22usize, 10, 10, 10, 8, 11, 11, 11];
+    let widths = [22usize, 10, 10, 10, 10, 8, 9, 9, 9, 9];
     print_header(
         &[
             "workload",
             "plain KiB",
             "wah KiB",
+            "roar KiB",
             "adapt KiB",
             "ratio",
             "plain us",
             "wah us",
+            "roar us",
             "adapt us",
         ],
         &widths,
@@ -108,6 +111,7 @@ fn main() {
     for workload in workloads(n, k) {
         let plain = &workload.bitmaps;
         let wah: Vec<WahBitmap> = plain.iter().map(WahBitmap::compress).collect();
+        let roaring: Vec<RoaringBitmap> = plain.iter().map(RoaringBitmap::compress).collect();
         let adaptive: Vec<BitmapRepr> = plain
             .iter()
             .map(|b| BitmapRepr::from_bitmap(b.clone(), RepresentationPolicy::default()))
@@ -115,18 +119,25 @@ fn main() {
 
         let plain_bytes: usize = plain.iter().map(Bitmap::size_bytes).sum();
         let wah_bytes: usize = wah.iter().map(WahBitmap::size_bytes).sum();
+        let roaring_bytes: usize = roaring.iter().map(RoaringBitmap::size_bytes).sum();
         let adaptive_bytes: usize = adaptive.iter().map(BitmapRepr::size_bytes).sum();
 
         let plain_refs: Vec<&Bitmap> = plain.iter().collect();
         let wah_refs: Vec<&WahBitmap> = wah.iter().collect();
+        let roaring_refs: Vec<&RoaringBitmap> = roaring.iter().collect();
         let adaptive_refs: Vec<&BitmapRepr> = adaptive.iter().collect();
         let plain_us = time_us(repeats, || Bitmap::and_many(&plain_refs));
         let wah_us = time_us(repeats, || WahBitmap::and_many(&wah_refs));
+        let roaring_us = time_us(repeats, || RoaringBitmap::and_many(&roaring_refs));
         let adaptive_us = time_us(repeats, || BitmapRepr::and_many(&adaptive_refs));
 
         // All three paths agree bit-for-bit.
         assert_eq!(
             WahBitmap::and_many(&wah_refs).decompress(),
+            Bitmap::and_many(&plain_refs)
+        );
+        assert_eq!(
+            RoaringBitmap::and_many(&roaring_refs).decompress(),
             Bitmap::and_many(&plain_refs)
         );
         assert_eq!(
@@ -139,10 +150,12 @@ fn main() {
                 workload.name.to_string(),
                 format!("{:.1}", plain_bytes as f64 / 1024.0),
                 format!("{:.1}", wah_bytes as f64 / 1024.0),
+                format!("{:.1}", roaring_bytes as f64 / 1024.0),
                 format!("{:.1}", adaptive_bytes as f64 / 1024.0),
                 format!("{:.2}x", plain_bytes as f64 / adaptive_bytes as f64),
                 format!("{plain_us:.0}"),
                 format!("{wah_us:.0}"),
+                format!("{roaring_us:.0}"),
                 format!("{adaptive_us:.0}"),
             ],
             &widths,

@@ -13,10 +13,20 @@
 //! All codes of the same GROUP share the 10-bit prefix `dddllfffgg`, so a
 //! selection on GROUP needs to match only the first 10 bitmaps instead of all
 //! 15 — the prefix property exploited by MDHF.
+//!
+//! The module also hosts the *physical* byte codec of stored bitmaps:
+//! [`encode_bitmap_repr`] / [`decode_bitmap_repr`] serialize any
+//! [`BitmapRepr`] (plain, WAH or roaring) into a self-describing stream —
+//! the page-image format the on-disk storage engine will persist.
 
 use serde::{Deserialize, Serialize};
 
 use schema::Hierarchy;
+
+use crate::bitvec::Bitmap;
+use crate::repr::BitmapRepr;
+use crate::roaring::RoaringBitmap;
+use crate::wah::WahBitmap;
 
 /// The bit layout of a hierarchically encoded bitmap index for one dimension.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -163,6 +173,207 @@ fn bits_for(fanout: u64) -> u32 {
         0
     } else {
         64 - (fanout - 1).leading_zeros()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Physical bitmap serialization
+// ---------------------------------------------------------------------------
+//
+// The vendored `serde` is an offline marker stub, so the byte form of a
+// stored bitmap is a hand-rolled, self-describing little-endian codec: a
+// 4-byte magic, a format version, a representation tag, then the
+// representation's own payload (raw words for plain and WAH, the per-chunk
+// container stream for roaring).  This is the page-image format the
+// on-disk storage engine (ROADMAP item 1) will write.
+
+/// Magic prefix of a serialized [`BitmapRepr`].
+const MAGIC: [u8; 4] = *b"BMRP";
+/// Current format version.
+const VERSION: u8 = 1;
+const TAG_PLAIN: u8 = 0;
+const TAG_WAH: u8 = 1;
+const TAG_ROARING: u8 = 2;
+
+/// Why a [`decode_bitmap_repr`] call rejected its input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReprDecodeError {
+    /// The stream ended before the structure it promised.
+    Truncated,
+    /// The stream does not start with the `BMRP` magic.
+    BadMagic,
+    /// The stream's format version is newer than this build understands.
+    UnsupportedVersion(u8),
+    /// The representation tag byte is unknown.
+    UnknownReprTag(u8),
+    /// A roaring container tag byte is unknown.
+    UnknownContainerTag(u8),
+    /// A structural invariant failed (sortedness, ranges, counts).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ReprDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReprDecodeError::Truncated => write!(f, "bitmap byte stream is truncated"),
+            ReprDecodeError::BadMagic => write!(f, "bitmap byte stream lacks the BMRP magic"),
+            ReprDecodeError::UnsupportedVersion(v) => {
+                write!(f, "unsupported bitmap format version {v}")
+            }
+            ReprDecodeError::UnknownReprTag(t) => {
+                write!(f, "unknown bitmap representation tag {t}")
+            }
+            ReprDecodeError::UnknownContainerTag(t) => {
+                write!(f, "unknown roaring container tag {t}")
+            }
+            ReprDecodeError::Malformed(what) => write!(f, "malformed bitmap stream: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ReprDecodeError {}
+
+/// Little-endian byte-stream reader shared by the decode paths (here and in
+/// [`crate::roaring`]).  All accessors fail with
+/// [`ReprDecodeError::Truncated`] instead of panicking.
+pub(crate) struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ReprDecodeError> {
+        let end = self.at.checked_add(n).ok_or(ReprDecodeError::Truncated)?;
+        let slice = self
+            .bytes
+            .get(self.at..end)
+            .ok_or(ReprDecodeError::Truncated)?;
+        self.at = end;
+        Ok(slice)
+    }
+
+    /// The not-yet-consumed remainder of the stream.
+    pub(crate) fn rest(&self) -> &'a [u8] {
+        &self.bytes[self.at..]
+    }
+
+    /// True when every byte has been consumed.
+    pub(crate) fn is_exhausted(&self) -> bool {
+        self.at == self.bytes.len()
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, ReprDecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, ReprDecodeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, ReprDecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, ReprDecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+/// Serializes a [`BitmapRepr`] — any of the three physical representations —
+/// into the self-describing `BMRP` byte format.
+#[must_use]
+pub fn encode_bitmap_repr(repr: &BitmapRepr) -> Vec<u8> {
+    let mut out = Vec::with_capacity(repr.size_bytes() + 16);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    match repr {
+        BitmapRepr::Plain(b) => {
+            out.push(TAG_PLAIN);
+            out.extend_from_slice(&(b.len() as u64).to_le_bytes());
+            for &w in b.words() {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        BitmapRepr::Wah(w) => {
+            out.push(TAG_WAH);
+            out.extend_from_slice(&(w.len() as u64).to_le_bytes());
+            out.extend_from_slice(&(w.raw_words().len() as u64).to_le_bytes());
+            for &word in w.raw_words() {
+                out.extend_from_slice(&word.to_le_bytes());
+            }
+        }
+        BitmapRepr::Roaring(r) => {
+            out.push(TAG_ROARING);
+            r.write_bytes(&mut out);
+        }
+    }
+    out
+}
+
+/// Deserializes a stream produced by [`encode_bitmap_repr`].
+///
+/// Decoded bitmaps are restored to the crate's internal invariants: plain
+/// tail bits beyond `len` are cleared, roaring containers are validated and
+/// re-canonicalised, and WAH words are accepted verbatim (every WAH
+/// operation tolerates non-canonical input by design).
+///
+/// # Errors
+///
+/// Returns a [`ReprDecodeError`] on truncated, foreign or structurally
+/// invalid input.
+pub fn decode_bitmap_repr(bytes: &[u8]) -> Result<BitmapRepr, ReprDecodeError> {
+    let mut cursor = Cursor::new(bytes);
+    if cursor.take(4)? != MAGIC {
+        return Err(ReprDecodeError::BadMagic);
+    }
+    let version = cursor.u8()?;
+    if version != VERSION {
+        return Err(ReprDecodeError::UnsupportedVersion(version));
+    }
+    let tag = cursor.u8()?;
+    match tag {
+        TAG_PLAIN => {
+            let len = cursor.u64()? as usize;
+            let word_count = len.div_ceil(64);
+            let mut words = Vec::with_capacity(word_count);
+            for _ in 0..word_count {
+                words.push(cursor.u64()?);
+            }
+            if !cursor.is_exhausted() {
+                return Err(ReprDecodeError::Malformed(
+                    "trailing bytes after plain words",
+                ));
+            }
+            Ok(BitmapRepr::Plain(Bitmap::from_words(len, words)))
+        }
+        TAG_WAH => {
+            let len = cursor.u64()? as usize;
+            let word_count = cursor.u64()? as usize;
+            if word_count > cursor.rest().len() / 8 {
+                return Err(ReprDecodeError::Truncated);
+            }
+            let mut words = Vec::with_capacity(word_count);
+            for _ in 0..word_count {
+                words.push(cursor.u64()?);
+            }
+            if !cursor.is_exhausted() {
+                return Err(ReprDecodeError::Malformed("trailing bytes after WAH words"));
+            }
+            Ok(BitmapRepr::Wah(WahBitmap::from_raw_words(len, words)))
+        }
+        TAG_ROARING => Ok(BitmapRepr::Roaring(RoaringBitmap::read_bytes(
+            cursor.rest(),
+        )?)),
+        other => Err(ReprDecodeError::UnknownReprTag(other)),
     }
 }
 
@@ -324,5 +535,144 @@ mod prop_tests {
                 prop_assert_eq!(leaf_pattern >> (total - prefix_bits), prefix);
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod codec_tests {
+    use super::*;
+    use crate::repr::RepresentationPolicy;
+
+    fn shaped(kind: u8) -> Bitmap {
+        let n = 70_000;
+        match kind {
+            0 => Bitmap::from_positions(n, (0..n).step_by(997)),
+            1 => Bitmap::from_positions(n, 30_000..67_000),
+            _ => Bitmap::from_positions(n, (0..n).filter(|i| i % 3 != 0)),
+        }
+    }
+
+    #[test]
+    fn all_three_representations_round_trip() {
+        for kind in 0..3u8 {
+            let bitmap = shaped(kind);
+            for policy in [
+                RepresentationPolicy::Plain,
+                RepresentationPolicy::Wah,
+                RepresentationPolicy::Roaring,
+                RepresentationPolicy::default(),
+            ] {
+                let repr = BitmapRepr::from_bitmap(bitmap.clone(), policy);
+                let bytes = encode_bitmap_repr(&repr);
+                let decoded = decode_bitmap_repr(&bytes);
+                assert_eq!(decoded.as_ref(), Ok(&repr), "{policy:?} kind {kind}");
+                assert_eq!(
+                    decoded.map(|d| d.to_plain()),
+                    Ok(bitmap.clone()),
+                    "{policy:?} kind {kind}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_length_bitmap_round_trips() {
+        for policy in [
+            RepresentationPolicy::Plain,
+            RepresentationPolicy::Wah,
+            RepresentationPolicy::Roaring,
+        ] {
+            let repr = BitmapRepr::from_bitmap(Bitmap::new(0), policy);
+            assert_eq!(decode_bitmap_repr(&encode_bitmap_repr(&repr)), Ok(repr));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_streams() {
+        let repr = BitmapRepr::from_bitmap(shaped(0), RepresentationPolicy::Roaring);
+        let bytes = encode_bitmap_repr(&repr);
+
+        assert_eq!(decode_bitmap_repr(&[]), Err(ReprDecodeError::Truncated));
+        assert_eq!(
+            decode_bitmap_repr(&bytes[..bytes.len() - 1]),
+            Err(ReprDecodeError::Truncated)
+        );
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(
+            decode_bitmap_repr(&bad_magic),
+            Err(ReprDecodeError::BadMagic)
+        );
+
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 99;
+        assert_eq!(
+            decode_bitmap_repr(&bad_version),
+            Err(ReprDecodeError::UnsupportedVersion(99))
+        );
+
+        let mut bad_tag = bytes.clone();
+        bad_tag[5] = 7;
+        assert_eq!(
+            decode_bitmap_repr(&bad_tag),
+            Err(ReprDecodeError::UnknownReprTag(7))
+        );
+
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(decode_bitmap_repr(&trailing).is_err());
+
+        // Container tag 3 does not exist: corrupt the first container tag,
+        // which sits right after magic(4) + version(1) + repr tag(1) + len(8).
+        let mut bad_container = bytes;
+        bad_container[14] = 3;
+        assert_eq!(
+            decode_bitmap_repr(&bad_container),
+            Err(ReprDecodeError::UnknownContainerTag(3))
+        );
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_roaring_positions() {
+        // A run container reaching past `len` in the final chunk.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"BMRP");
+        bytes.push(1); // version
+        bytes.push(2); // roaring tag
+        bytes.extend_from_slice(&100u64.to_le_bytes()); // len = 100
+        bytes.push(2); // runs container
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&0u16.to_le_bytes()); // start 0
+        bytes.extend_from_slice(&100u16.to_le_bytes()); // end 100 >= len
+        assert!(matches!(
+            decode_bitmap_repr(&bytes),
+            Err(ReprDecodeError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn deserialized_non_canonical_containers_are_recanonicalised() {
+        // An array container holding one long run: the encoder would have
+        // chosen a run container, but the decoder must accept the array
+        // form and restore canonical equality with a freshly built bitmap.
+        let len = 1_000u64;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"BMRP");
+        bytes.push(1);
+        bytes.push(2);
+        bytes.extend_from_slice(&len.to_le_bytes());
+        bytes.push(0); // array container
+        bytes.extend_from_slice(&500u32.to_le_bytes());
+        for v in 0..500u16 {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let decoded = decode_bitmap_repr(&bytes).map(|r| r.to_plain());
+        assert_eq!(decoded, Ok(Bitmap::from_positions(1_000, 0..500)));
+        let rebuilt = BitmapRepr::from_bitmap(
+            Bitmap::from_positions(1_000, 0..500),
+            RepresentationPolicy::Roaring,
+        );
+        assert_eq!(decode_bitmap_repr(&bytes), Ok(rebuilt));
     }
 }

@@ -15,11 +15,16 @@
 //!   used by star-join processing,
 //! * [`wah::WahBitmap`] — a word-aligned-hybrid compressed representation
 //!   with compressed-domain AND/OR/iteration (no decompress round-trips),
+//! * [`roaring::RoaringBitmap`] — roaring-style hybrid containers (sorted
+//!   array / bitset / run list per 64 Ki-bit chunk, canonically chosen per
+//!   chunk) with fully compressed-domain Boolean operations,
 //! * [`repr::BitmapRepr`] / [`repr::RepresentationPolicy`] — the adaptive
-//!   (density-threshold-driven) per-bitmap choice between the two, used by
-//!   every materialised index,
+//!   measured-size per-bitmap choice among the three, used by every
+//!   materialised index,
 //! * [`encoding::HierarchicalEncoding`] — the per-level bit layout of an
-//!   encoded bitmap index derived from a dimension hierarchy,
+//!   encoded bitmap index derived from a dimension hierarchy — plus the
+//!   `BMRP` byte codec ([`encoding::encode_bitmap_repr`]) that serializes
+//!   any representation,
 //! * [`index::BitmapIndexSpec`] / [`index::IndexCatalog`] — the logical
 //!   description (how many bitmaps, which bitmaps a selection must read) used
 //!   by the cost model and the simulator,
@@ -36,14 +41,16 @@ pub mod encoding;
 pub mod fragment;
 pub mod index;
 pub mod repr;
+pub mod roaring;
 pub mod wah;
 
 pub use bitvec::Bitmap;
 pub use builder::{evaluate_star_query, FactRow, MaterialisedFactTable, MaterialisedIndex};
-pub use encoding::HierarchicalEncoding;
+pub use encoding::{decode_bitmap_repr, encode_bitmap_repr, HierarchicalEncoding, ReprDecodeError};
 pub use fragment::BitmapFragmentation;
 pub use index::{BitmapIndexKind, BitmapIndexSpec, IndexCatalog};
 pub use repr::{BitmapRepr, ReprStats, RepresentationPolicy};
+pub use roaring::RoaringBitmap;
 pub use wah::WahBitmap;
 
 #[cfg(test)]

@@ -1,28 +1,34 @@
-//! Adaptive bitmap representations: plain vs. WAH-compressed, per bitmap.
+//! Adaptive bitmap representations: plain, WAH or roaring, per bitmap.
 //!
 //! The paper sizes its bitmap join indices as if every bitmap were stored
 //! verbatim, noting only that the overhead "may be reduced by compressing
 //! the bitmaps".  This module makes the whole stack representation-aware:
-//! a [`BitmapRepr`] is either an uncompressed [`Bitmap`] or a compressed
-//! [`WahBitmap`], and a [`RepresentationPolicy`] decides — per bitmap, at
-//! index-build time — which form to keep.
+//! a [`BitmapRepr`] is an uncompressed [`Bitmap`], a run-compressed
+//! [`WahBitmap`] or a hybrid-container [`RoaringBitmap`], and a
+//! [`RepresentationPolicy`] decides — per bitmap, at index-build time —
+//! which form to keep.
 //!
-//! The adaptive policy is **density-threshold-driven**: bitmaps whose
-//! density `d` satisfies `min(d, 1 - d) <= max_density` are candidates for
-//! compression (sparse bitmaps compress through zero fills, near-full ones
-//! through one fills) and are stored compressed when the WAH form wins by
-//! at least [`RepresentationPolicy::MIN_COMPRESSION_GAIN`]; mid-density
-//! bitmaps — e.g. the ~50 %-density bit slices of a hierarchically encoded
-//! index — skip the compression attempt entirely and stay on the plain
-//! fast path.
+//! The adaptive policy chooses among all three by **measured size**: the
+//! roaring form is always a candidate (its per-chunk chooser degrades
+//! gracefully at any density), the WAH form is attempted when the density
+//! `d` satisfies `min(d, 1 - d) <= max_density` (sparse bitmaps compress
+//! through zero fills, near-full ones through one fills), and a compressed
+//! form is kept only when it wins by at least
+//! [`RepresentationPolicy::MIN_COMPRESSION_GAIN`] over verbatim storage —
+//! the smallest winner is stored, ties preferring roaring (whose kernels
+//! are faster than WAH's run merge).  Mid-density bitmaps — e.g. the
+//! ~50 %-density bit slices of a hierarchically encoded index — fail the
+//! gain bar and stay on the plain fast path.
 //!
 //! Boolean operations stay in the compressed domain whenever every operand
-//! is compressed ([`WahBitmap::and_many`]); mixed operand sets fall back to
-//! the plain domain.
+//! shares a compressed representation ([`WahBitmap::and_many`],
+//! [`RoaringBitmap::and_many`]); mixed operand sets fall back to the plain
+//! domain.
 
 use serde::{Deserialize, Serialize};
 
 use crate::bitvec::Bitmap;
+use crate::roaring::RoaringBitmap;
 use crate::wah::WahBitmap;
 
 /// How bitmaps of an index are physically represented.
@@ -32,12 +38,17 @@ pub enum RepresentationPolicy {
     Plain,
     /// Every bitmap is stored WAH-compressed, even when that is larger.
     Wah,
-    /// Density-threshold-driven choice per bitmap: compress when
-    /// `min(density, 1 - density) <= max_density` *and* the compressed form
-    /// wins by at least [`RepresentationPolicy::MIN_COMPRESSION_GAIN`];
-    /// keep plain otherwise.
+    /// Every bitmap is stored in roaring hybrid containers, even when the
+    /// plain form would be smaller.
+    Roaring,
+    /// Measured-size choice per bitmap among all three representations:
+    /// roaring is always a candidate, WAH when
+    /// `min(density, 1 - density) <= max_density`, and a compressed form is
+    /// kept only when it wins by at least
+    /// [`RepresentationPolicy::MIN_COMPRESSION_GAIN`] — the smallest wins,
+    /// ties preferring roaring; keep plain otherwise.
     Adaptive {
-        /// The density threshold gating the compression attempt.
+        /// The density threshold gating the WAH compression attempt.
         max_density: f64,
     },
 }
@@ -85,6 +96,8 @@ pub enum BitmapRepr {
     Plain(Bitmap),
     /// WAH-compressed runs.
     Wah(WahBitmap),
+    /// Roaring hybrid containers (array / bitset / runs per 64 Ki chunk).
+    Roaring(RoaringBitmap),
 }
 
 impl BitmapRepr {
@@ -94,17 +107,35 @@ impl BitmapRepr {
         match policy {
             RepresentationPolicy::Plain => BitmapRepr::Plain(bitmap),
             RepresentationPolicy::Wah => BitmapRepr::Wah(WahBitmap::compress(&bitmap)),
+            RepresentationPolicy::Roaring => BitmapRepr::Roaring(RoaringBitmap::compress(&bitmap)),
             RepresentationPolicy::Adaptive { max_density } => {
+                let plain_bytes = bitmap.size_bytes() as f64;
+                let gain_ok = |bytes: usize| {
+                    bytes as f64 * RepresentationPolicy::MIN_COMPRESSION_GAIN <= plain_bytes
+                };
+
+                // Roaring is always a candidate: its per-chunk chooser never
+                // explodes, so only the gain bar can reject it.
+                let roaring = RoaringBitmap::compress(&bitmap);
+                let mut best: Option<BitmapRepr> = None;
+                let mut best_bytes = usize::MAX;
+                if gain_ok(roaring.size_bytes()) {
+                    best_bytes = roaring.size_bytes();
+                    best = Some(BitmapRepr::Roaring(roaring));
+                }
+                // WAH only under the density gate; it must beat roaring
+                // *strictly* — on ties roaring wins, whose container
+                // kernels are faster than the WAH run merge, so the
+                // chooser never keeps a form that is both larger and
+                // slower than an alternative.
                 let d = bitmap.density();
                 if d.min(1.0 - d) <= max_density {
                     let wah = WahBitmap::compress(&bitmap);
-                    if wah.size_bytes() as f64 * RepresentationPolicy::MIN_COMPRESSION_GAIN
-                        <= bitmap.size_bytes() as f64
-                    {
-                        return BitmapRepr::Wah(wah);
+                    if gain_ok(wah.size_bytes()) && wah.size_bytes() < best_bytes {
+                        best = Some(BitmapRepr::Wah(wah));
                     }
                 }
-                BitmapRepr::Plain(bitmap)
+                best.unwrap_or(BitmapRepr::Plain(bitmap))
             }
         }
     }
@@ -115,6 +146,7 @@ impl BitmapRepr {
         match self {
             BitmapRepr::Plain(b) => b.len(),
             BitmapRepr::Wah(w) => w.len(),
+            BitmapRepr::Roaring(r) => r.len(),
         }
     }
 
@@ -124,10 +156,10 @@ impl BitmapRepr {
         self.len() == 0
     }
 
-    /// True when stored WAH-compressed.
+    /// True when stored in a compressed form (WAH or roaring).
     #[must_use]
     pub fn is_compressed(&self) -> bool {
-        matches!(self, BitmapRepr::Wah(_))
+        matches!(self, BitmapRepr::Wah(_) | BitmapRepr::Roaring(_))
     }
 
     /// Number of set bits (computed without decompression).
@@ -136,6 +168,7 @@ impl BitmapRepr {
         match self {
             BitmapRepr::Plain(b) => b.count_ones(),
             BitmapRepr::Wah(w) => w.count_ones(),
+            BitmapRepr::Roaring(r) => r.count_ones(),
         }
     }
 
@@ -145,6 +178,7 @@ impl BitmapRepr {
         match self {
             BitmapRepr::Plain(b) => b.density(),
             BitmapRepr::Wah(w) => w.density(),
+            BitmapRepr::Roaring(r) => r.density(),
         }
     }
 
@@ -155,6 +189,7 @@ impl BitmapRepr {
         match self {
             BitmapRepr::Plain(b) => b.size_bytes(),
             BitmapRepr::Wah(w) => w.size_bytes(),
+            BitmapRepr::Roaring(r) => r.size_bytes(),
         }
     }
 
@@ -164,13 +199,14 @@ impl BitmapRepr {
         self.len().div_ceil(64) * 8
     }
 
-    /// The plain form: a move for [`BitmapRepr::Plain`], a decompression for
-    /// [`BitmapRepr::Wah`].
+    /// The plain form: a move for [`BitmapRepr::Plain`], a decompression
+    /// otherwise.
     #[must_use]
     pub fn into_plain(self) -> Bitmap {
         match self {
             BitmapRepr::Plain(b) => b,
             BitmapRepr::Wah(w) => w.decompress(),
+            BitmapRepr::Roaring(r) => r.decompress(),
         }
     }
 
@@ -180,18 +216,40 @@ impl BitmapRepr {
         self.clone().into_plain()
     }
 
-    /// Borrows the compressed form, if this is the compressed representation.
+    /// Borrows the WAH form, if this is the WAH representation.
     #[must_use]
     pub fn as_wah(&self) -> Option<&WahBitmap> {
         match self {
             BitmapRepr::Wah(w) => Some(w),
-            BitmapRepr::Plain(_) => None,
+            _ => None,
         }
     }
 
+    /// Borrows the roaring form, if this is the roaring representation.
+    #[must_use]
+    pub fn as_roaring(&self) -> Option<&RoaringBitmap> {
+        match self {
+            BitmapRepr::Roaring(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Collects the WAH forms when *every* operand is WAH.
+    fn all_wah<'a>(reprs: impl Iterator<Item = &'a BitmapRepr>) -> Option<Vec<&'a WahBitmap>> {
+        reprs.map(BitmapRepr::as_wah).collect()
+    }
+
+    /// Collects the roaring forms when *every* operand is roaring.
+    fn all_roaring<'a>(
+        reprs: impl Iterator<Item = &'a BitmapRepr>,
+    ) -> Option<Vec<&'a RoaringBitmap>> {
+        reprs.map(BitmapRepr::as_roaring).collect()
+    }
+
     /// Multi-way intersection over representations: stays entirely in the
-    /// compressed domain when every operand is compressed, otherwise falls
-    /// back to a plain-domain intersection.
+    /// compressed domain when every operand shares a compressed
+    /// representation (all WAH or all roaring), otherwise falls back to a
+    /// plain-domain intersection.
     ///
     /// # Panics
     ///
@@ -199,11 +257,13 @@ impl BitmapRepr {
     #[must_use]
     pub fn and_many(reprs: &[&BitmapRepr]) -> BitmapRepr {
         assert!(!reprs.is_empty(), "and_many needs at least one bitmap");
-        if reprs.iter().all(|r| r.is_compressed()) {
-            let wahs: Vec<&WahBitmap> = reprs.iter().filter_map(|r| r.as_wah()).collect();
+        if let Some(wahs) = Self::all_wah(reprs.iter().copied()) {
             return BitmapRepr::Wah(WahBitmap::and_many(&wahs));
         }
-        // Mixed operands: borrow plain ones, decompress only the WAH ones.
+        if let Some(roars) = Self::all_roaring(reprs.iter().copied()) {
+            return BitmapRepr::Roaring(RoaringBitmap::and_many(&roars));
+        }
+        // Mixed operands: borrow plain ones, decompress only compressed ones.
         let plain: Vec<std::borrow::Cow<'_, Bitmap>> =
             reprs.iter().map(|r| r.borrow_plain()).collect();
         let refs: Vec<&Bitmap> = plain.iter().map(std::convert::AsRef::as_ref).collect();
@@ -212,23 +272,36 @@ impl BitmapRepr {
 
     /// Consuming multi-way intersection — the hot-path variant used by the
     /// execution engine's per-fragment selection: stays entirely in the
-    /// compressed domain when every operand is compressed, otherwise folds
-    /// every further operand into the first operand's plain form **in
-    /// place** ([`Bitmap::and_assign_many`]), with no per-operand result
-    /// allocation.
+    /// compressed domain when every operand shares a compressed
+    /// representation (all WAH or all roaring), otherwise folds every
+    /// further operand into the first operand's plain form **in place**
+    /// ([`Bitmap::and_assign_many`]), with no per-operand result
+    /// allocation.  The result is compressed exactly when the whole
+    /// intersection ran in the compressed domain.
     ///
     /// # Panics
     ///
     /// Panics if `reprs` is empty or the lengths differ.
     #[must_use]
     pub fn and_many_owned(reprs: Vec<BitmapRepr>) -> BitmapRepr {
-        assert!(!reprs.is_empty(), "and_many needs at least one bitmap");
-        if reprs.iter().all(BitmapRepr::is_compressed) {
-            let wahs: Vec<&WahBitmap> = reprs.iter().filter_map(BitmapRepr::as_wah).collect();
-            return BitmapRepr::Wah(WahBitmap::and_many(&wahs));
+        if let Some(wahs) = Self::all_wah(reprs.iter()) {
+            if !wahs.is_empty() {
+                return BitmapRepr::Wah(WahBitmap::and_many(&wahs));
+            }
+        }
+        if let Some(roars) = Self::all_roaring(reprs.iter()) {
+            if !roars.is_empty() {
+                return BitmapRepr::Roaring(RoaringBitmap::and_many(&roars));
+            }
         }
         let mut reprs = reprs.into_iter();
-        let mut acc = reprs.next().expect("checked non-empty").into_plain();
+        let Some(first) = reprs.next() else {
+            panic!(
+                "BitmapRepr::and_many of zero operands has no defined length; \
+                 pass at least one bitmap"
+            )
+        };
+        let mut acc = first.into_plain();
         let rest: Vec<Bitmap> = reprs.map(BitmapRepr::into_plain).collect();
         let rest_refs: Vec<&Bitmap> = rest.iter().collect();
         acc.and_assign_many(&rest_refs);
@@ -236,7 +309,7 @@ impl BitmapRepr {
     }
 
     /// Union of two representations, compressed-domain when both operands
-    /// are compressed.
+    /// share a compressed representation.
     ///
     /// # Panics
     ///
@@ -245,6 +318,7 @@ impl BitmapRepr {
     pub fn or(&self, other: &BitmapRepr) -> BitmapRepr {
         match (self, other) {
             (BitmapRepr::Wah(a), BitmapRepr::Wah(b)) => BitmapRepr::Wah(a.or(b)),
+            (BitmapRepr::Roaring(a), BitmapRepr::Roaring(b)) => BitmapRepr::Roaring(a.or(b)),
             _ => {
                 let a = self.borrow_plain();
                 let b = other.borrow_plain();
@@ -258,6 +332,7 @@ impl BitmapRepr {
         match self {
             BitmapRepr::Plain(b) => std::borrow::Cow::Borrowed(b),
             BitmapRepr::Wah(w) => std::borrow::Cow::Owned(w.decompress()),
+            BitmapRepr::Roaring(r) => std::borrow::Cow::Owned(r.decompress()),
         }
     }
 
@@ -267,7 +342,25 @@ impl BitmapRepr {
         match self {
             BitmapRepr::Plain(b) => Box::new(b.iter_ones()),
             BitmapRepr::Wah(w) => Box::new(w.iter_ones()),
+            BitmapRepr::Roaring(r) => Box::new(r.iter_ones()),
         }
+    }
+
+    /// Serializes into the self-describing `BMRP` byte format
+    /// ([`crate::encoding::encode_bitmap_repr`]).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        crate::encoding::encode_bitmap_repr(self)
+    }
+
+    /// Deserializes a stream produced by [`BitmapRepr::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::encoding::ReprDecodeError`] on truncated, foreign
+    /// or structurally invalid input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, crate::encoding::ReprDecodeError> {
+        crate::encoding::decode_bitmap_repr(bytes)
     }
 }
 
@@ -277,8 +370,12 @@ impl BitmapRepr {
 pub struct ReprStats {
     /// Total bitmaps counted.
     pub bitmaps: usize,
-    /// Bitmaps stored WAH-compressed.
+    /// Bitmaps stored in any compressed form (`wah + roaring`).
     pub compressed: usize,
+    /// Bitmaps stored WAH-compressed.
+    pub wah: usize,
+    /// Bitmaps stored in roaring hybrid containers.
+    pub roaring: usize,
     /// Total physical bytes of the chosen representations.
     pub size_bytes: usize,
     /// Total bytes a verbatim (plain) representation would occupy.
@@ -289,8 +386,16 @@ impl ReprStats {
     /// Accounts for one more bitmap.
     pub fn absorb(&mut self, repr: &BitmapRepr) {
         self.bitmaps += 1;
-        if repr.is_compressed() {
-            self.compressed += 1;
+        match repr {
+            BitmapRepr::Plain(_) => {}
+            BitmapRepr::Wah(_) => {
+                self.compressed += 1;
+                self.wah += 1;
+            }
+            BitmapRepr::Roaring(_) => {
+                self.compressed += 1;
+                self.roaring += 1;
+            }
         }
         self.size_bytes += repr.size_bytes();
         self.plain_size_bytes += repr.plain_size_bytes();
@@ -300,6 +405,8 @@ impl ReprStats {
     pub fn merge(&mut self, other: ReprStats) {
         self.bitmaps += other.bitmaps;
         self.compressed += other.compressed;
+        self.wah += other.wah;
+        self.roaring += other.roaring;
         self.size_bytes += other.size_bytes;
         self.plain_size_bytes += other.plain_size_bytes;
     }
@@ -363,6 +470,26 @@ mod tests {
         assert!(w.is_compressed());
         let p = BitmapRepr::from_bitmap(sparse(n), RepresentationPolicy::Plain);
         assert!(!p.is_compressed());
+        let r = BitmapRepr::from_bitmap(mid_random(n), RepresentationPolicy::Roaring);
+        assert!(r.is_compressed());
+        assert!(r.as_roaring().is_some());
+        assert_eq!(r.to_plain(), mid_random(n));
+    }
+
+    #[test]
+    fn adaptive_prefers_the_smaller_compressed_form() {
+        let n = 100_000;
+        // Scattered-sparse: WAH literals can't merge (one set bit per
+        // 63-bit group) but a roaring array stores 2 bytes per bit.
+        let scattered = BitmapRepr::from_bitmap(sparse(n), RepresentationPolicy::default());
+        assert!(scattered.as_roaring().is_some(), "{scattered:?}");
+        let wah_size = WahBitmap::compress(&sparse(n)).size_bytes();
+        assert!(scattered.size_bytes() < wah_size);
+
+        // All-one: a couple of WAH one-fill words beat roaring's per-chunk
+        // headers.
+        let full = BitmapRepr::from_bitmap(Bitmap::ones(n), RepresentationPolicy::default());
+        assert!(full.as_wah().is_some(), "{full:?}");
     }
 
     #[test]
@@ -373,6 +500,7 @@ mod tests {
         for policy in [
             RepresentationPolicy::Plain,
             RepresentationPolicy::Wah,
+            RepresentationPolicy::Roaring,
             RepresentationPolicy::default(),
         ] {
             let ra = BitmapRepr::from_bitmap(a.clone(), policy);
@@ -399,6 +527,34 @@ mod tests {
         let and = BitmapRepr::and_many(&[&wah, &plain]);
         assert!(!and.is_compressed());
         assert_eq!(and.to_plain(), sparse(n).and(&mid_random(n)));
+
+        // WAH × roaring is also "mixed": both compressed, but there is no
+        // shared compressed domain, so the fold lands in the plain one.
+        let roaring = BitmapRepr::from_bitmap(mid_random(n), RepresentationPolicy::Roaring);
+        let and = BitmapRepr::and_many(&[&wah, &roaring]);
+        assert!(!and.is_compressed());
+        assert_eq!(and.to_plain(), sparse(n).and(&mid_random(n)));
+        let and_owned = BitmapRepr::and_many_owned(vec![wah, roaring]);
+        assert!(!and_owned.is_compressed());
+        assert_eq!(and_owned.to_plain(), sparse(n).and(&mid_random(n)));
+    }
+
+    #[test]
+    fn homogeneous_roaring_operands_stay_in_the_roaring_domain() {
+        let n = 70_000;
+        let a = Bitmap::from_positions(n, (0..n).filter(|i| i % 2 == 0));
+        let b = Bitmap::from_positions(n, 10_000..68_000);
+        let ra = BitmapRepr::from_bitmap(a.clone(), RepresentationPolicy::Roaring);
+        let rb = BitmapRepr::from_bitmap(b.clone(), RepresentationPolicy::Roaring);
+        let and = BitmapRepr::and_many(&[&ra, &rb]);
+        assert!(and.as_roaring().is_some());
+        assert_eq!(and.to_plain(), a.and(&b));
+        let and_owned = BitmapRepr::and_many_owned(vec![ra.clone(), rb.clone()]);
+        assert!(and_owned.as_roaring().is_some());
+        assert_eq!(and_owned.to_plain(), a.and(&b));
+        let or = ra.or(&rb);
+        assert!(or.as_roaring().is_some());
+        assert_eq!(or.to_plain(), a.or(&b));
     }
 
     #[test]
@@ -409,15 +565,21 @@ mod tests {
         let policy = RepresentationPolicy::default();
         stats.absorb(&BitmapRepr::from_bitmap(sparse(n), policy));
         stats.absorb(&BitmapRepr::from_bitmap(mid_random(n), policy));
-        assert_eq!(stats.bitmaps, 2);
-        assert_eq!(stats.compressed, 1);
+        stats.absorb(&BitmapRepr::from_bitmap(Bitmap::ones(n), policy));
+        assert_eq!(stats.bitmaps, 3);
+        assert_eq!(stats.compressed, 2);
+        assert_eq!(stats.compressed, stats.wah + stats.roaring);
+        assert_eq!(stats.roaring, 1); // scattered-sparse → array containers
+        assert_eq!(stats.wah, 1); // all-one → one-fill words
         assert!(stats.size_bytes < stats.plain_size_bytes);
         assert!(stats.compression_ratio() > 1.0);
 
         let mut merged = ReprStats::default();
         merged.merge(stats);
         merged.merge(stats);
-        assert_eq!(merged.bitmaps, 4);
+        assert_eq!(merged.bitmaps, 6);
+        assert_eq!(merged.wah, 2 * stats.wah);
+        assert_eq!(merged.roaring, 2 * stats.roaring);
         assert_eq!(merged.plain_size_bytes, 2 * stats.plain_size_bytes);
     }
 
@@ -450,7 +612,43 @@ mod prop_tests {
             prop_assert!(adaptive.size_bytes() <= bitmap.size_bytes());
             prop_assert_eq!(adaptive.count_ones(), bitmap.count_ones());
             let forced = BitmapRepr::from_bitmap(bitmap.clone(), RepresentationPolicy::Wah);
+            prop_assert_eq!(forced.to_plain(), bitmap.clone());
+            let forced = BitmapRepr::from_bitmap(bitmap.clone(), RepresentationPolicy::Roaring);
             prop_assert_eq!(forced.to_plain(), bitmap);
+        }
+
+        /// `and_many` / `or` agree bit-for-bit across all three forced
+        /// representations and the adaptive chooser.
+        #[test]
+        fn prop_and_or_agree_across_representations(
+            len in 0usize..1_500,
+            run_start in 0usize..1_500,
+            run_len in 0usize..1_500,
+            shape_a in 0u8..4,
+            shape_b in 0u8..4,
+            seed in 0u64..1_000,
+        ) {
+            let a = crate::test_shapes::shaped_bitmap(len, shape_a, run_start, run_len, seed);
+            let b = crate::test_shapes::shaped_bitmap(len, shape_b, run_len, run_start, seed ^ 0x5a);
+            let expected_and = a.and(&b);
+            let expected_or = a.or(&b);
+            for policy in [
+                RepresentationPolicy::Plain,
+                RepresentationPolicy::Wah,
+                RepresentationPolicy::Roaring,
+                RepresentationPolicy::default(),
+            ] {
+                let ra = BitmapRepr::from_bitmap(a.clone(), policy);
+                let rb = BitmapRepr::from_bitmap(b.clone(), policy);
+                let and = BitmapRepr::and_many(&[&ra, &rb]);
+                prop_assert_eq!(and.to_plain(), expected_and.clone(), "{:?}", policy);
+                prop_assert_eq!(
+                    and.count_ones(), expected_and.count_ones(), "{:?}", policy
+                );
+                let owned = BitmapRepr::and_many_owned(vec![ra.clone(), rb.clone()]);
+                prop_assert_eq!(owned.to_plain(), expected_and.clone(), "{:?}", policy);
+                prop_assert_eq!(ra.or(&rb).to_plain(), expected_or.clone(), "{:?}", policy);
+            }
         }
     }
 }

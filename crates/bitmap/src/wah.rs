@@ -166,6 +166,20 @@ impl WahBitmap {
         self.words.len() * 8
     }
 
+    /// Raw compressed words (the serialization encode path).
+    #[must_use]
+    pub(crate) fn raw_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds from raw compressed words (the serialization decode path).
+    /// Non-canonical input is tolerated by every operation — see the module
+    /// docs — so no validation is needed here.
+    #[must_use]
+    pub(crate) fn from_raw_words(len: usize, words: Vec<u64>) -> WahBitmap {
+        WahBitmap { len, words }
+    }
+
     /// Compression ratio relative to the uncompressed representation
     /// (values > 1 mean the compressed form is smaller).
     #[must_use]
@@ -219,7 +233,12 @@ impl WahBitmap {
     /// Panics if `bitmaps` is empty or the lengths differ.
     #[must_use]
     pub fn and_many(bitmaps: &[&WahBitmap]) -> WahBitmap {
-        let first = *bitmaps.first().expect("and_many needs at least one bitmap");
+        let Some(first) = bitmaps.first() else {
+            panic!(
+                "WahBitmap::and_many of zero operands has no defined length; \
+                 pass at least one bitmap"
+            )
+        };
         Self::merge_many(bitmaps, first.len, false)
     }
 
@@ -232,7 +251,12 @@ impl WahBitmap {
     /// Panics if `bitmaps` is empty or the lengths differ.
     #[must_use]
     pub fn or_many(bitmaps: &[&WahBitmap]) -> WahBitmap {
-        let first = *bitmaps.first().expect("or_many needs at least one bitmap");
+        let Some(first) = bitmaps.first() else {
+            panic!(
+                "WahBitmap::or_many of zero operands has no defined length; \
+                 pass at least one bitmap"
+            )
+        };
         Self::merge_many(bitmaps, first.len, true)
     }
 

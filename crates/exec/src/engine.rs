@@ -552,11 +552,15 @@ pub(crate) fn process_fragment(
                     .select_repr(p.level, p.value)
             })
             .collect();
-        // All-compressed selections intersect and iterate entirely over the
-        // WAH runs; otherwise the operands fold into the first selection's
-        // plain form in place — both inside `BitmapRepr::and_many_owned`.
-        compressed_domain = selections.iter().all(BitmapRepr::is_compressed);
+        // Homogeneous compressed selections (all-WAH or all-Roaring)
+        // intersect and iterate entirely in their compressed domain;
+        // otherwise the operands fold into the first selection's plain form
+        // in place — both inside `BitmapRepr::and_many_owned`.  The result
+        // is compressed exactly when the compressed domain was used, so the
+        // metric reads it off the result rather than the operands (mixed
+        // WAH x Roaring operands are all compressed yet fold via plain).
         let selection = BitmapRepr::and_many_owned(selections);
+        compressed_domain = selection.is_compressed();
         aggregate(&mut selection.iter_ones());
     }
     (
@@ -775,6 +779,50 @@ mod tests {
     }
 
     #[test]
+    fn forced_roaring_store_runs_selections_in_the_compressed_domain() {
+        let schema = apb1_scaled_down();
+        let fragmentation =
+            Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+        let store = FragmentStore::build_with_policy(
+            &schema,
+            &fragmentation,
+            2024,
+            bitmap::RepresentationPolicy::Roaring,
+        );
+        let engine = StarJoinEngine::new(store);
+        // 1STORE hits the simple customer index: all selections compressed,
+        // and the homogeneous roaring operands stay in the roaring domain.
+        let bound = BoundQuery::new(&schema, QueryType::OneStore.to_star_query(&schema), vec![7]);
+        let result = engine.execute_serial(&bound);
+        assert_eq!(
+            result.metrics.total_compressed(),
+            result.metrics.total_fragments()
+        );
+
+        // Same bits as the forced-WAH store and the plain store.
+        for policy in [
+            bitmap::RepresentationPolicy::Plain,
+            bitmap::RepresentationPolicy::Wah,
+        ] {
+            let other = StarJoinEngine::new(FragmentStore::build_with_policy(
+                &schema,
+                &fragmentation,
+                2024,
+                policy,
+            ));
+            let other_result = other.execute_serial(&bound);
+            assert_eq!(other_result.hits, result.hits);
+            let a: Vec<u64> = other_result
+                .measure_sums
+                .iter()
+                .map(|s| s.to_bits())
+                .collect();
+            let b: Vec<u64> = result.measure_sums.iter().map(|s| s.to_bits()).collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
     fn io_layer_changes_metrics_but_never_results() {
         let (schema, engine) = engine();
         let bound = BoundQuery::new(&schema, QueryType::OneStore.to_star_query(&schema), vec![7]);
@@ -887,9 +935,10 @@ mod prop_tests {
         &["time::month", "product::code", "channel::channel"],
     ];
 
-    const POLICIES: [bitmap::RepresentationPolicy; 3] = [
+    const POLICIES: [bitmap::RepresentationPolicy; 4] = [
         bitmap::RepresentationPolicy::Plain,
         bitmap::RepresentationPolicy::Wah,
+        bitmap::RepresentationPolicy::Roaring,
         bitmap::RepresentationPolicy::Adaptive {
             max_density: bitmap::RepresentationPolicy::DEFAULT_MAX_DENSITY,
         },
@@ -899,7 +948,8 @@ mod prop_tests {
         #![proptest_config(ProptestConfig::with_cases(12))]
 
         /// For random fragmentations, query types, bound values and all of
-        /// the {Plain, Wah, Adaptive} representation policies, the parallel
+        /// the {Plain, Wah, Roaring, Adaptive} representation policies, the
+        /// parallel
         /// engine returns exactly (bit-identically) the serial result for k
         /// workers in {1, 2, 8}.
         #[test]

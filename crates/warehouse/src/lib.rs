@@ -58,7 +58,7 @@ pub mod prelude {
     pub use allocation::{BitmapPlacement, PhysicalAllocation};
     pub use bitmap::{
         Bitmap, BitmapRepr, HierarchicalEncoding, IndexCatalog, ReprStats, RepresentationPolicy,
-        WahBitmap,
+        RoaringBitmap, WahBitmap,
     };
     pub use exec::{
         DiskIoStats, ExecConfig, ExecMetrics, FragmentStore, IoConfig, IoMetrics, ObsConfig,

@@ -1,6 +1,6 @@
 //! Integration tests of the adaptive bitmap-representation layer, end to
-//! end: index builds under {Plain, Wah, Adaptive} policies must yield
-//! bit-identical query results (serial and parallel), the adaptive
+//! end: index builds under {Plain, Wah, Roaring, Adaptive} policies must
+//! yield bit-identical query results (serial and parallel), the adaptive
 //! representation must shrink clustered-run index storage by at least 3x,
 //! and the measured compression ratio must flow into the bitmap-fragment
 //! page sizing and the analytic cost model.
@@ -9,10 +9,11 @@ use warehouse::bitmap::MaterialisedFactTable;
 use warehouse::prelude::*;
 use warehouse::workload::QueryType;
 
-fn policies() -> [RepresentationPolicy; 3] {
+fn policies() -> [RepresentationPolicy; 4] {
     [
         RepresentationPolicy::Plain,
         RepresentationPolicy::Wah,
+        RepresentationPolicy::Roaring,
         RepresentationPolicy::default(),
     ]
 }
