@@ -19,7 +19,13 @@ fn bench_worker_sweep(c: &mut Criterion) {
         let name = format!("exec_1store_{workers}_workers");
         c.bench_function(&name, |bencher| {
             bencher.iter(|| {
-                std::hint::black_box(engine.execute_plan(&plan, &ExecConfig::with_workers(workers)))
+                std::hint::black_box(engine.execute_plan(
+                    &plan,
+                    &ExecConfig {
+                        workers,
+                        ..ExecConfig::default()
+                    },
+                ))
             })
         });
     }

@@ -90,7 +90,13 @@ fn main() {
     for &workers in worker_counts {
         let metrics = best_of(repeats, || {
             engine
-                .execute_plan(&plan, &ExecConfig::with_workers(workers))
+                .execute_plan(
+                    &plan,
+                    &ExecConfig {
+                        workers,
+                        ..ExecConfig::default()
+                    },
+                )
                 .metrics
         });
         if workers == 4 {

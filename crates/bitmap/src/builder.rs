@@ -186,7 +186,7 @@ fn unrank(mut combo: u64, cards: &[u64]) -> Vec<u64> {
 /// representation ([`BitmapRepr`]): under the default adaptive policy the
 /// sparse per-value bitmaps of simple indices compress to WAH runs while
 /// the ~50 %-density bit slices of encoded indices stay plain.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MaterialisedIndex {
     dimension: usize,
     spec: BitmapIndexSpec,
@@ -392,6 +392,132 @@ impl MaterialisedIndex {
     pub fn schema(&self) -> &StarSchema {
         &self.schema
     }
+
+    /// Borrowed view of the physical bitmaps backing this index, in the
+    /// shape matching its [`BitmapIndexKind`].  This is the serialisation
+    /// surface: a storage engine writes exactly these bitmaps (e.g. through
+    /// [`crate::encode_bitmap_repr`]) and later reconstructs the index with
+    /// [`MaterialisedIndex::from_stored_encoded`] /
+    /// [`MaterialisedIndex::from_stored_simple`].
+    #[must_use]
+    pub fn stored_bitmaps(&self) -> StoredBitmaps<'_> {
+        match self.spec.kind() {
+            BitmapIndexKind::Encoded(_) => StoredBitmaps::Encoded(&self.encoded_bitmaps),
+            BitmapIndexKind::Simple => StoredBitmaps::Simple(&self.simple_bitmaps),
+        }
+    }
+
+    /// Reconstructs an *encoded* index for `dimension` from its stored bit
+    /// slices (most significant / coarsest first), as previously exposed by
+    /// [`MaterialisedIndex::stored_bitmaps`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch when `catalog` does not declare
+    /// an encoded index for `dimension`, the slice count differs from the
+    /// encoding's total bits, or the slices disagree on row count.
+    pub fn from_stored_encoded(
+        schema: &StarSchema,
+        catalog: &IndexCatalog,
+        dimension: usize,
+        policy: RepresentationPolicy,
+        bitmaps: Vec<BitmapRepr>,
+    ) -> Result<Self, String> {
+        let spec = catalog.spec(dimension).clone();
+        let BitmapIndexKind::Encoded(enc) = spec.kind() else {
+            return Err(format!(
+                "catalog declares a simple index for dimension {dimension}, got encoded bitmaps"
+            ));
+        };
+        let enc = enc.clone();
+        if bitmaps.len() != enc.total_bits() as usize {
+            return Err(format!(
+                "encoded index for dimension {dimension} needs {} bit slices, got {}",
+                enc.total_bits(),
+                bitmaps.len()
+            ));
+        }
+        let rows = bitmaps.first().map_or(0, BitmapRepr::len);
+        if bitmaps.iter().any(|b| b.len() != rows) {
+            return Err(format!(
+                "bit slices of dimension {dimension} disagree on row count"
+            ));
+        }
+        Ok(MaterialisedIndex {
+            dimension,
+            spec,
+            policy,
+            encoded_bitmaps: bitmaps,
+            simple_bitmaps: BTreeMap::new(),
+            encoding: Some(enc),
+            schema: schema.clone(),
+        })
+    }
+
+    /// Reconstructs a *simple* index for `dimension` from its stored
+    /// per-`(level, value)` bitmaps, as previously exposed by
+    /// [`MaterialisedIndex::stored_bitmaps`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch when `catalog` does not declare
+    /// a simple index for `dimension`, the bitmap count differs from the
+    /// spec, a key is outside the dimension hierarchy, or the bitmaps
+    /// disagree on row count.
+    pub fn from_stored_simple(
+        schema: &StarSchema,
+        catalog: &IndexCatalog,
+        dimension: usize,
+        policy: RepresentationPolicy,
+        bitmaps: BTreeMap<(usize, u64), BitmapRepr>,
+    ) -> Result<Self, String> {
+        let spec = catalog.spec(dimension).clone();
+        if !matches!(spec.kind(), BitmapIndexKind::Simple) {
+            return Err(format!(
+                "catalog declares an encoded index for dimension {dimension}, got simple bitmaps"
+            ));
+        }
+        if bitmaps.len() as u64 != spec.bitmap_count() {
+            return Err(format!(
+                "simple index for dimension {dimension} needs {} bitmaps, got {}",
+                spec.bitmap_count(),
+                bitmaps.len()
+            ));
+        }
+        let hierarchy = schema.dimensions()[dimension].hierarchy();
+        let rows = bitmaps.values().next().map_or(0, BitmapRepr::len);
+        for (&(level, value), bitmap) in &bitmaps {
+            if level >= hierarchy.depth() || value >= hierarchy.cardinality(level) {
+                return Err(format!(
+                    "bitmap key (level {level}, value {value}) outside dimension {dimension}"
+                ));
+            }
+            if bitmap.len() != rows {
+                return Err(format!(
+                    "bitmaps of dimension {dimension} disagree on row count"
+                ));
+            }
+        }
+        Ok(MaterialisedIndex {
+            dimension,
+            spec,
+            policy,
+            encoded_bitmaps: Vec::new(),
+            simple_bitmaps: bitmaps,
+            encoding: None,
+            schema: schema.clone(),
+        })
+    }
+}
+
+/// Borrowed view of the physical bitmaps of a [`MaterialisedIndex`], shaped
+/// by the index kind.
+#[derive(Debug, Clone, Copy)]
+pub enum StoredBitmaps<'a> {
+    /// Encoded index: one bit slice per encoding bit, coarsest first.
+    Encoded(&'a [BitmapRepr]),
+    /// Simple index: one bitmap per `(level, value)` pair.
+    Simple(&'a BTreeMap<(usize, u64), BitmapRepr>),
 }
 
 /// Evaluates a star query over a materialised table using bitmap indices:
@@ -658,6 +784,71 @@ mod tests {
             }],
             vec![3, 10],
         );
+    }
+
+    #[test]
+    fn stored_bitmaps_roundtrip_reconstruction() {
+        let (schema, _, catalog, indices) = setup();
+        for idx in &indices {
+            let rebuilt = match idx.stored_bitmaps() {
+                StoredBitmaps::Encoded(slices) => MaterialisedIndex::from_stored_encoded(
+                    &schema,
+                    &catalog,
+                    idx.dimension(),
+                    idx.policy(),
+                    slices.to_vec(),
+                ),
+                StoredBitmaps::Simple(map) => MaterialisedIndex::from_stored_simple(
+                    &schema,
+                    &catalog,
+                    idx.dimension(),
+                    idx.policy(),
+                    map.clone(),
+                ),
+            }
+            .expect("reconstruction succeeds");
+            assert_eq!(&rebuilt, idx);
+        }
+    }
+
+    #[test]
+    fn from_stored_rejects_shape_mismatches() {
+        let (schema, _, catalog, indices) = setup();
+        // Dimension 0 (product) defaults to an encoded index; feeding it
+        // simple bitmaps (and vice versa) must fail, as must a wrong count.
+        let encoded_dim = indices
+            .iter()
+            .find(|i| matches!(i.stored_bitmaps(), StoredBitmaps::Encoded(_)))
+            .expect("an encoded index exists");
+        let simple_dim = indices
+            .iter()
+            .find(|i| matches!(i.stored_bitmaps(), StoredBitmaps::Simple(_)))
+            .expect("a simple index exists");
+        let policy = RepresentationPolicy::default();
+        assert!(MaterialisedIndex::from_stored_simple(
+            &schema,
+            &catalog,
+            encoded_dim.dimension(),
+            policy,
+            BTreeMap::new(),
+        )
+        .is_err());
+        assert!(MaterialisedIndex::from_stored_encoded(
+            &schema,
+            &catalog,
+            simple_dim.dimension(),
+            policy,
+            Vec::new(),
+        )
+        .is_err());
+        assert!(MaterialisedIndex::from_stored_encoded(
+            &schema,
+            &catalog,
+            encoded_dim.dimension(),
+            policy,
+            vec![BitmapRepr::Plain(Bitmap::new(4))],
+        )
+        .is_err());
     }
 
     #[test]

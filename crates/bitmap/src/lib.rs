@@ -45,7 +45,9 @@ pub mod roaring;
 pub mod wah;
 
 pub use bitvec::Bitmap;
-pub use builder::{evaluate_star_query, FactRow, MaterialisedFactTable, MaterialisedIndex};
+pub use builder::{
+    evaluate_star_query, FactRow, MaterialisedFactTable, MaterialisedIndex, StoredBitmaps,
+};
 pub use encoding::{decode_bitmap_repr, encode_bitmap_repr, HierarchicalEncoding, ReprDecodeError};
 pub use fragment::BitmapFragmentation;
 pub use index::{BitmapIndexKind, BitmapIndexSpec, IndexCatalog};

@@ -253,21 +253,37 @@ impl BitmapRepr {
     ///
     /// # Panics
     ///
-    /// Panics if `reprs` is empty or the lengths differ.
+    /// Panics if `reprs` is empty or the lengths differ; use
+    /// [`BitmapRepr::try_and_many`] when the operand list may be empty.
     #[must_use]
     pub fn and_many(reprs: &[&BitmapRepr]) -> BitmapRepr {
         assert!(!reprs.is_empty(), "and_many needs at least one bitmap");
+        Self::try_and_many(reprs).expect("non-empty operand list intersects")
+    }
+
+    /// Fallible multi-way intersection: `None` for an empty operand list
+    /// (which has no defined bitmap length), otherwise exactly
+    /// [`BitmapRepr::and_many`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand lengths differ.
+    #[must_use]
+    pub fn try_and_many(reprs: &[&BitmapRepr]) -> Option<BitmapRepr> {
+        if reprs.is_empty() {
+            return None;
+        }
         if let Some(wahs) = Self::all_wah(reprs.iter().copied()) {
-            return BitmapRepr::Wah(WahBitmap::and_many(&wahs));
+            return Some(BitmapRepr::Wah(WahBitmap::and_many(&wahs)));
         }
         if let Some(roars) = Self::all_roaring(reprs.iter().copied()) {
-            return BitmapRepr::Roaring(RoaringBitmap::and_many(&roars));
+            return Some(BitmapRepr::Roaring(RoaringBitmap::and_many(&roars)));
         }
         // Mixed operands: borrow plain ones, decompress only compressed ones.
         let plain: Vec<std::borrow::Cow<'_, Bitmap>> =
             reprs.iter().map(|r| r.borrow_plain()).collect();
         let refs: Vec<&Bitmap> = plain.iter().map(std::convert::AsRef::as_ref).collect();
-        BitmapRepr::Plain(Bitmap::and_many(&refs))
+        Some(BitmapRepr::Plain(Bitmap::and_many(&refs)))
     }
 
     /// Consuming multi-way intersection — the hot-path variant used by the
@@ -281,31 +297,45 @@ impl BitmapRepr {
     ///
     /// # Panics
     ///
-    /// Panics if `reprs` is empty or the lengths differ.
+    /// Panics if `reprs` is empty or the lengths differ; use
+    /// [`BitmapRepr::try_and_many_owned`] when the operand list may be
+    /// empty.
     #[must_use]
     pub fn and_many_owned(reprs: Vec<BitmapRepr>) -> BitmapRepr {
-        if let Some(wahs) = Self::all_wah(reprs.iter()) {
-            if !wahs.is_empty() {
-                return BitmapRepr::Wah(WahBitmap::and_many(&wahs));
-            }
-        }
-        if let Some(roars) = Self::all_roaring(reprs.iter()) {
-            if !roars.is_empty() {
-                return BitmapRepr::Roaring(RoaringBitmap::and_many(&roars));
-            }
-        }
-        let mut reprs = reprs.into_iter();
-        let Some(first) = reprs.next() else {
+        let Some(result) = Self::try_and_many_owned(reprs) else {
             panic!(
                 "BitmapRepr::and_many of zero operands has no defined length; \
                  pass at least one bitmap"
             )
         };
+        result
+    }
+
+    /// Fallible consuming multi-way intersection: `None` for an empty
+    /// operand list, otherwise exactly [`BitmapRepr::and_many_owned`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand lengths differ.
+    #[must_use]
+    pub fn try_and_many_owned(reprs: Vec<BitmapRepr>) -> Option<BitmapRepr> {
+        if let Some(wahs) = Self::all_wah(reprs.iter()) {
+            if !wahs.is_empty() {
+                return Some(BitmapRepr::Wah(WahBitmap::and_many(&wahs)));
+            }
+        }
+        if let Some(roars) = Self::all_roaring(reprs.iter()) {
+            if !roars.is_empty() {
+                return Some(BitmapRepr::Roaring(RoaringBitmap::and_many(&roars)));
+            }
+        }
+        let mut reprs = reprs.into_iter();
+        let first = reprs.next()?;
         let mut acc = first.into_plain();
         let rest: Vec<Bitmap> = reprs.map(BitmapRepr::into_plain).collect();
         let rest_refs: Vec<&Bitmap> = rest.iter().collect();
         acc.and_assign_many(&rest_refs);
-        BitmapRepr::Plain(acc)
+        Some(BitmapRepr::Plain(acc))
     }
 
     /// Union of two representations, compressed-domain when both operands
@@ -587,6 +617,17 @@ mod tests {
     #[should_panic(expected = "at least one bitmap")]
     fn and_many_rejects_empty_input() {
         let _ = BitmapRepr::and_many(&[]);
+    }
+
+    #[test]
+    fn try_and_many_reports_empty_input_instead_of_panicking() {
+        assert_eq!(BitmapRepr::try_and_many(&[]), None);
+        assert_eq!(BitmapRepr::try_and_many_owned(vec![]), None);
+        let a = BitmapRepr::Plain(Bitmap::from_positions(16, [1, 5, 9]));
+        let b = BitmapRepr::Plain(Bitmap::from_positions(16, [5, 9, 12]));
+        let expected = BitmapRepr::and_many(&[&a, &b]);
+        assert_eq!(BitmapRepr::try_and_many(&[&a, &b]), Some(expected.clone()));
+        assert_eq!(BitmapRepr::try_and_many_owned(vec![a, b]), Some(expected));
     }
 }
 

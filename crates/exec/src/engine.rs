@@ -37,6 +37,7 @@ use crate::io::{throttle_for, IoConfig, SimulatedIo, TaskIo};
 use crate::metrics::{ExecMetrics, WorkerMetrics};
 use crate::plan::{PredicateBinding, QueryPlan};
 use crate::queue::{Claim, FragmentQueue};
+use crate::source::ScanSource;
 use crate::store::{ColumnarFragment, FragmentStore};
 
 /// Worker-pool configuration.
@@ -64,23 +65,33 @@ pub struct ExecConfig {
 
 impl ExecConfig {
     /// A pool of exactly `workers` threads, with no placement awareness.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the `warehouse::Session` builder (`Warehouse::session().workers(n)`), or a \
+                struct literal: `ExecConfig { workers, ..ExecConfig::default() }`"
+    )]
     #[must_use]
     pub fn with_workers(workers: usize) -> Self {
         ExecConfig {
             workers,
-            placement: None,
-            io: None,
-            obs: ObsConfig::default(),
+            ..ExecConfig::default()
         }
     }
 
     /// The serial (1-worker) configuration — the speedup baseline.
     #[must_use]
     pub fn serial() -> Self {
-        ExecConfig::with_workers(1)
+        ExecConfig {
+            workers: 1,
+            ..ExecConfig::default()
+        }
     }
 
     /// Seeds worker queues in `placement`'s disk-affinity order.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `warehouse::Warehouse::session().placement(...)` or set the `placement` field"
+    )]
     #[must_use]
     pub fn with_placement(mut self, placement: PhysicalAllocation) -> Self {
         self.placement = Some(placement);
@@ -91,6 +102,10 @@ impl ExecConfig {
     /// from `io` (one fresh subsystem per executed plan; use
     /// [`StarJoinEngine::execute_plan_with_io`] to share cache state
     /// across queries).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `warehouse::Warehouse::session().io(...)` or set the `io` field"
+    )]
     #[must_use]
     pub fn with_io(mut self, io: IoConfig) -> Self {
         self.io = Some(io);
@@ -98,6 +113,10 @@ impl ExecConfig {
     }
 
     /// Records a deterministic trace of the run (see [`ObsConfig`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `warehouse::Warehouse::session().obs(...)` or set the `obs` field"
+    )]
     #[must_use]
     pub fn with_obs(mut self, obs: ObsConfig) -> Self {
         self.obs = obs;
@@ -135,7 +154,12 @@ impl ExecConfig {
 impl Default for ExecConfig {
     /// Defaults to the machine's available parallelism, placement-unaware.
     fn default() -> Self {
-        ExecConfig::with_workers(0)
+        ExecConfig {
+            workers: 0,
+            placement: None,
+            io: None,
+            obs: ObsConfig::default(),
+        }
     }
 }
 
@@ -187,30 +211,53 @@ pub(crate) fn merge_partials(
     (hits, measure_sums)
 }
 
-/// A parallel star-join execution engine over a materialised
-/// [`FragmentStore`].
+/// A parallel star-join execution engine over a [`ScanSource`] — an
+/// in-memory [`FragmentStore`] or a persistent [`crate::FileStore`].
 #[derive(Debug)]
 pub struct StarJoinEngine {
-    store: FragmentStore,
+    source: ScanSource,
 }
 
 impl StarJoinEngine {
-    /// Creates an engine over `store`.
+    /// Creates an engine over an in-memory `store`.
     #[must_use]
     pub fn new(store: FragmentStore) -> Self {
-        StarJoinEngine { store }
+        StarJoinEngine {
+            source: ScanSource::Memory(store),
+        }
     }
 
-    /// The underlying fragment store.
+    /// Creates an engine over any scan source — in-memory or file-backed.
+    /// Results are bit-identical across backings.
+    #[must_use]
+    pub fn from_source(source: impl Into<ScanSource>) -> Self {
+        StarJoinEngine {
+            source: source.into(),
+        }
+    }
+
+    /// The engine's scan source.
+    #[must_use]
+    pub fn source(&self) -> &ScanSource {
+        &self.source
+    }
+
+    /// The underlying in-memory fragment store.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a file-backed engine — use [`Self::source`] there.
     #[must_use]
     pub fn store(&self) -> &FragmentStore {
-        &self.store
+        self.source
+            .as_memory()
+            .expect("engine is file-backed; use StarJoinEngine::source()")
     }
 
-    /// Plans `bound` against the store's schema and fragmentation.
+    /// Plans `bound` against the source's schema and fragmentation.
     #[must_use]
     pub fn plan(&self, bound: &BoundQuery) -> QueryPlan {
-        QueryPlan::new(self.store.schema(), self.store.fragmentation(), bound)
+        QueryPlan::new(self.source.schema(), self.source.fragmentation(), bound)
     }
 
     /// Plans and executes `bound` on `config`'s worker pool.
@@ -238,7 +285,7 @@ impl StarJoinEngine {
     pub fn execute_plan(&self, plan: &QueryPlan, config: &ExecConfig) -> QueryResult {
         match &config.io {
             Some(io_config) => {
-                let io = SimulatedIo::new(*io_config, self.store.schema());
+                let io = SimulatedIo::new(*io_config, self.source.schema());
                 self.execute_plan_with_io(plan, config, &io)
             }
             None => self.run_pool(plan, config, None, make_recorder(config)),
@@ -257,7 +304,7 @@ impl StarJoinEngine {
         io: &SimulatedIo,
     ) -> QueryResult {
         let recorder = make_recorder(config);
-        let charges = io.charge_plan_traced(plan, &self.store, 0, recorder.as_ref());
+        let charges = io.charge_plan_traced(plan, &self.source, 0, recorder.as_ref());
         self.run_pool(plan, config, Some((io, charges)), recorder)
     }
 
@@ -278,7 +325,7 @@ impl StarJoinEngine {
         // detlint: allow(wall-clock, reason = "measured wall speedup is observability; query results never depend on it")
         let start = Instant::now();
         let seed_order = match &config.placement {
-            Some(placement) => placement_seed_order(plan, &self.store, placement),
+            Some(placement) => placement_seed_order(plan, self.source.catalog(), placement),
             None => (0..plan.fragments().len()).collect(),
         };
         let queue = match (&charges, io_sim.map(|s| s.config().steal_by_io)) {
@@ -306,7 +353,7 @@ impl StarJoinEngine {
         let rec = recorder.as_ref();
         let outputs: Vec<(Vec<FragmentPartial>, WorkerMetrics)> = if workers == 1 {
             vec![run_worker(
-                &self.store,
+                &self.source,
                 plan,
                 &bitmap_predicates,
                 &queue,
@@ -318,12 +365,12 @@ impl StarJoinEngine {
             thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|worker| {
-                        let store = &self.store;
+                        let source = &self.source;
                         let queue = &queue;
                         let preds = &bitmap_predicates;
                         let task_io = &task_io;
                         scope.spawn(move || {
-                            run_worker(store, plan, preds, queue, task_io, worker, rec)
+                            run_worker(source, plan, preds, queue, task_io, worker, rec)
                         })
                     })
                     .collect();
@@ -345,7 +392,7 @@ impl StarJoinEngine {
             worker_metrics.push(metrics);
         }
         worker_metrics.sort_by_key(|m| m.worker);
-        let (hits, measure_sums) = merge_partials(&mut partials, self.store.measure_count());
+        let (hits, measure_sums) = merge_partials(&mut partials, self.source.measure_count());
         if let Some(rec) = recorder.as_ref() {
             // The query's simulated span: charge 0 (admission) to the last
             // charge's completion on the disk clock (0 with the I/O layer
@@ -378,6 +425,7 @@ impl StarJoinEngine {
                 wall,
                 planned_fragments: plan.fragments().len(),
                 io: io_sim.map(SimulatedIo::metrics),
+                file: self.source.file_metrics(),
             },
             trace: recorder.map(TraceRecorder::into_trace),
         }
@@ -419,10 +467,10 @@ impl TaskIoTable<'_> {
 /// queue chunks map to contiguous slices of the physical allocation.
 pub(crate) fn placement_seed_order(
     plan: &QueryPlan,
-    store: &FragmentStore,
+    catalog: &bitmap::IndexCatalog,
     placement: &PhysicalAllocation,
 ) -> Vec<usize> {
-    let bitmap_count = plan.bitmap_fragments_per_subquery(store.catalog());
+    let bitmap_count = plan.bitmap_fragments_per_subquery(catalog);
     let mut tasks: Vec<usize> = (0..plan.fragments().len()).collect();
     tasks
         .sort_by_cached_key(|&task| placement.subquery_disks(plan.fragments()[task], bitmap_count));
@@ -432,7 +480,7 @@ pub(crate) fn placement_seed_order(
 /// One worker's loop: claim fragments until the queue is dry.
 #[allow(clippy::too_many_arguments)]
 fn run_worker(
-    store: &FragmentStore,
+    source: &ScanSource,
     plan: &QueryPlan,
     bitmap_predicates: &[PredicateBinding],
     queue: &FragmentQueue,
@@ -460,9 +508,9 @@ fn run_worker(
         }
         let sim_ms = task_io.perform(task);
         metrics.sim_io_ms += sim_ms;
-        let fragment = store.fragment(plan.fragments()[task]);
+        let fragment = source.fetch(plan.fragments()[task]);
         let (partial, compressed) =
-            process_fragment(fragment, bitmap_predicates, store.measure_count(), task);
+            process_fragment(&fragment, bitmap_predicates, source.measure_count(), task);
         metrics.fragments_processed += 1;
         metrics.fragments_compressed += usize::from(compressed);
         metrics.rows_scanned += partial.rows;
@@ -647,7 +695,13 @@ mod tests {
             let bound = BoundQuery::new(&schema, query_type.to_star_query(&schema), values);
             let serial = engine.execute_serial(&bound);
             for workers in [2usize, 3, 4, 8] {
-                let parallel = engine.execute(&bound, &ExecConfig::with_workers(workers));
+                let parallel = engine.execute(
+                    &bound,
+                    &ExecConfig {
+                        workers,
+                        ..ExecConfig::default()
+                    },
+                );
                 assert_eq!(parallel.hits, serial.hits);
                 let serial_bits: Vec<u64> =
                     serial.measure_sums.iter().map(|s| s.to_bits()).collect();
@@ -666,7 +720,13 @@ mod tests {
     fn metrics_account_for_every_planned_fragment() {
         let (schema, engine) = engine();
         let bound = BoundQuery::new(&schema, QueryType::OneStore.to_star_query(&schema), vec![0]);
-        let result = engine.execute(&bound, &ExecConfig::with_workers(4));
+        let result = engine.execute(
+            &bound,
+            &ExecConfig {
+                workers: 4,
+                ..ExecConfig::default()
+            },
+        );
         assert_eq!(result.metrics.worker_count(), 4);
         assert_eq!(
             result.metrics.total_fragments(),
@@ -702,16 +762,69 @@ mod tests {
     #[test]
     fn config_resolution() {
         assert_eq!(ExecConfig::serial().resolved_workers(), 1);
-        assert_eq!(ExecConfig::with_workers(6).resolved_workers(), 6);
+        assert_eq!(
+            ExecConfig {
+                workers: 6,
+                ..ExecConfig::default()
+            }
+            .resolved_workers(),
+            6
+        );
         assert!(ExecConfig::default().resolved_workers() >= 1);
         // The shared pool-sizing rule: clamped to the task count, never 0.
-        assert_eq!(ExecConfig::with_workers(8).pool_size(3), 3);
-        assert_eq!(ExecConfig::with_workers(2).pool_size(100), 2);
-        assert_eq!(ExecConfig::with_workers(5).pool_size(0), 1);
+        assert_eq!(
+            ExecConfig {
+                workers: 8,
+                ..ExecConfig::default()
+            }
+            .pool_size(3),
+            3
+        );
+        assert_eq!(
+            ExecConfig {
+                workers: 2,
+                ..ExecConfig::default()
+            }
+            .pool_size(100),
+            2
+        );
+        assert_eq!(
+            ExecConfig {
+                workers: 5,
+                ..ExecConfig::default()
+            }
+            .pool_size(0),
+            1
+        );
         assert!(ExecConfig::default().pool_size(64) >= 1);
         assert_eq!(ExecConfig::default().placement, None);
-        let placed = ExecConfig::with_workers(2).with_placement(PhysicalAllocation::round_robin(8));
+        let placed = ExecConfig {
+            workers: 2,
+            placement: Some(PhysicalAllocation::round_robin(8)),
+            ..ExecConfig::default()
+        };
         assert_eq!(placed.placement, Some(PhysicalAllocation::round_robin(8)));
+    }
+
+    /// The deprecated chained constructors stay equivalent to the struct
+    /// literals they were replaced by, for the one release they survive.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_config_shims_match_struct_literals() {
+        let io = crate::io::IoConfig::with_disks(4).cache(64);
+        let placement = PhysicalAllocation::round_robin(8);
+        let chained = ExecConfig::with_workers(3)
+            .with_placement(placement)
+            .with_io(io)
+            .with_obs(ObsConfig::enabled());
+        let literal = ExecConfig {
+            workers: 3,
+            placement: Some(placement),
+            io: Some(io),
+            obs: ObsConfig::enabled(),
+        };
+        assert_eq!(chained, literal);
+        assert_eq!(ExecConfig::with_workers(1), ExecConfig::serial());
     }
 
     #[test]
@@ -720,7 +833,7 @@ mod tests {
         let bound = BoundQuery::new(&schema, QueryType::OneStore.to_star_query(&schema), vec![7]);
         let plan = engine.plan(&bound);
         let placement = PhysicalAllocation::round_robin(10);
-        let order = placement_seed_order(&plan, engine.store(), &placement);
+        let order = placement_seed_order(&plan, engine.store().catalog(), &placement);
         // The order is a permutation of all tasks, grouped by leading disk.
         let mut sorted = order.clone();
         sorted.sort_unstable();
@@ -734,10 +847,20 @@ mod tests {
         assert!(first_disks.windows(2).all(|w| w[0] <= w[1]));
 
         // Seeding never changes the result bits.
-        let baseline = engine.execute(&bound, &ExecConfig::with_workers(4));
+        let baseline = engine.execute(
+            &bound,
+            &ExecConfig {
+                workers: 4,
+                ..ExecConfig::default()
+            },
+        );
         let placed = engine.execute(
             &bound,
-            &ExecConfig::with_workers(4).with_placement(placement),
+            &ExecConfig {
+                workers: 4,
+                placement: Some(placement),
+                ..ExecConfig::default()
+            },
         );
         assert_eq!(placed.hits, baseline.hits);
         let baseline_bits: Vec<u64> = baseline.measure_sums.iter().map(|s| s.to_bits()).collect();
@@ -826,11 +949,24 @@ mod tests {
     fn io_layer_changes_metrics_but_never_results() {
         let (schema, engine) = engine();
         let bound = BoundQuery::new(&schema, QueryType::OneStore.to_star_query(&schema), vec![7]);
-        let baseline = engine.execute(&bound, &ExecConfig::with_workers(4));
+        let baseline = engine.execute(
+            &bound,
+            &ExecConfig {
+                workers: 4,
+                ..ExecConfig::default()
+            },
+        );
         assert!(baseline.metrics.io.is_none());
 
         let io = crate::io::IoConfig::with_disks(10).cache(256);
-        let with_io = engine.execute(&bound, &ExecConfig::with_workers(4).with_io(io));
+        let with_io = engine.execute(
+            &bound,
+            &ExecConfig {
+                workers: 4,
+                io: Some(io),
+                ..ExecConfig::default()
+            },
+        );
         assert_eq!(with_io.hits, baseline.hits);
         let a: Vec<u64> = baseline.measure_sums.iter().map(|s| s.to_bits()).collect();
         let b: Vec<u64> = with_io.measure_sums.iter().map(|s| s.to_bits()).collect();
@@ -853,8 +989,11 @@ mod tests {
     fn io_charging_is_deterministic_for_identical_configs() {
         let (schema, engine) = engine();
         let bound = BoundQuery::new(&schema, QueryType::OneCode.to_star_query(&schema), vec![65]);
-        let config =
-            ExecConfig::with_workers(3).with_io(crate::io::IoConfig::with_disks(7).cache(128));
+        let config = ExecConfig {
+            workers: 3,
+            io: Some(crate::io::IoConfig::with_disks(7).cache(128)),
+            ..ExecConfig::default()
+        };
         let a = engine.execute(&bound, &config);
         let b = engine.execute(&bound, &config);
         assert_eq!(a.metrics.io, b.metrics.io);
@@ -865,7 +1004,10 @@ mod tests {
         let (schema, engine) = engine();
         let bound = BoundQuery::new(&schema, QueryType::OneMonth.to_star_query(&schema), vec![3]);
         let plan = engine.plan(&bound);
-        let config = ExecConfig::with_workers(2);
+        let config = ExecConfig {
+            workers: 2,
+            ..ExecConfig::default()
+        };
         let io = crate::io::SimulatedIo::new(
             crate::io::IoConfig::with_disks(4).cache(100_000),
             engine.store().schema(),
@@ -981,9 +1123,9 @@ mod prop_tests {
                 .collect();
             let bound = BoundQuery::new(&schema, shape, values);
 
-            let serial = engine.execute(&bound, &ExecConfig::with_workers(1));
+            let serial = engine.execute(&bound, &ExecConfig { workers: 1, ..ExecConfig::default() });
             for workers in [2usize, 8] {
-                let parallel = engine.execute(&bound, &ExecConfig::with_workers(workers));
+                let parallel = engine.execute(&bound, &ExecConfig { workers, ..ExecConfig::default() });
                 prop_assert_eq!(parallel.hits, serial.hits);
                 let serial_bits: Vec<u64> =
                     serial.measure_sums.iter().map(|s| s.to_bits()).collect();
@@ -1031,10 +1173,10 @@ mod prop_tests {
             let bound = BoundQuery::new(&schema, shape, values);
 
             let io = crate::io::IoConfig::with_disks(disks).cache(cache_pages);
-            let serial = engine.execute(&bound, &ExecConfig::with_workers(1).with_io(io));
+            let serial = engine.execute(&bound, &ExecConfig { workers: 1, io: Some(io), ..ExecConfig::default() });
             for workers in [2usize, 8] {
                 let parallel =
-                    engine.execute(&bound, &ExecConfig::with_workers(workers).with_io(io));
+                    engine.execute(&bound, &ExecConfig { workers, io: Some(io), ..ExecConfig::default() });
                 prop_assert_eq!(parallel.hits, serial.hits);
                 let serial_bits: Vec<u64> =
                     serial.measure_sums.iter().map(|s| s.to_bits()).collect();

@@ -44,7 +44,7 @@ use schema::{PageSizing, StarSchema};
 use storage::{BufferPoolStats, DiskModel, DiskParameters, PagePool};
 
 use crate::plan::QueryPlan;
-use crate::store::FragmentStore;
+use crate::source::ScanSource;
 use crate::sync::PoisonLock;
 
 /// Distinct page-cache objects per fragment: the fact object plus up to
@@ -595,10 +595,12 @@ impl SimulatedIo {
     }
 
     /// Charges every fragment scan of `plan` in plan order — the engine's
-    /// deterministic replay — returning one [`TaskIo`] per task.
+    /// deterministic replay — returning one [`TaskIo`] per task.  Only the
+    /// source's *metadata* (catalog, per-fragment row counts) is touched:
+    /// charging a file-backed source performs no real I/O.
     #[must_use]
-    pub fn charge_plan(&self, plan: &QueryPlan, store: &FragmentStore) -> Vec<TaskIo> {
-        self.charge_plan_traced(plan, store, 0, None)
+    pub fn charge_plan(&self, plan: &QueryPlan, source: &ScanSource) -> Vec<TaskIo> {
+        self.charge_plan_traced(plan, source, 0, None)
     }
 
     /// [`Self::charge_plan`] with trace attribution for `query`.
@@ -606,18 +608,18 @@ impl SimulatedIo {
     pub fn charge_plan_traced(
         &self,
         plan: &QueryPlan,
-        store: &FragmentStore,
+        source: &ScanSource,
         query: u32,
         recorder: Option<&TraceRecorder>,
     ) -> Vec<TaskIo> {
-        let bitmap_fragments = plan.bitmap_fragments_per_subquery(store.catalog());
+        let bitmap_fragments = plan.bitmap_fragments_per_subquery(source.catalog());
         plan.fragments()
             .iter()
             .enumerate()
             .map(|(task, &f)| {
                 self.charge_scan_traced(
                     f,
-                    store.fragment(f).len() as u64,
+                    source.fragment_rows(f),
                     bitmap_fragments,
                     ScanCtx {
                         query,

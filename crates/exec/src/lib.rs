@@ -27,7 +27,7 @@
 //!   merge — parallel results are bit-identical to serial ones under every
 //!   representation policy,
 //! * [`ExecMetrics`] reports per-worker accounting and wall-clock speedup,
-//! * [`SimulatedIo`] (optional, [`ExecConfig::with_io`]) charges every
+//! * [`SimulatedIo`] (optional, [`ExecConfig::io`]) charges every
 //!   fragment scan against per-disk FIFO service queues (track-based seek +
 //!   transfer costs) behind a shared LRU page cache, on a deterministic
 //!   [`DiskClock`] — fragments finally *cost* something to read, steal
@@ -61,7 +61,8 @@
 //! assert_eq!(engine.plan(&bound).fragments().len(), 1);
 //!
 //! let serial = engine.execute_serial(&bound);
-//! let parallel = engine.execute(&bound, &ExecConfig::with_workers(2));
+//! let config = ExecConfig { workers: 2, ..ExecConfig::default() };
+//! let parallel = engine.execute(&bound, &config);
 //! assert_eq!(serial.hits, parallel.hits);
 //! assert_eq!(serial.measure_sums, parallel.measure_sums); // bit-identical
 //! ```
@@ -69,19 +70,26 @@
 #![forbid(unsafe_code)]
 
 pub mod engine;
+pub mod file;
 pub mod io;
 pub mod metrics;
 pub mod plan;
 pub mod queue;
 pub mod scheduler;
+pub mod source;
 pub mod store;
 mod sync;
 
 pub use engine::{ExecConfig, QueryResult, StarJoinEngine};
+pub use file::{
+    write_store, FileIoMetrics, FileStore, FileStoreOptions, StorageError, FORMAT_VERSION,
+    PAGE_SIZE,
+};
 pub use io::{DiskClock, DiskIoStats, IoConfig, IoMetrics, ScanCtx, SimulatedIo, TaskIo};
 pub use metrics::{ExecMetrics, ThroughputMetrics, WorkerMetrics};
 pub use obs::ObsConfig;
 pub use plan::{PredicateBinding, QueryPlan};
 pub use queue::{Claim, FragmentQueue};
 pub use scheduler::{QueryScheduler, ScheduledQuery, SchedulerConfig, StreamOutcome};
+pub use source::{FragmentRef, ScanSource};
 pub use store::{ColumnarFragment, FragmentStore};

@@ -46,6 +46,11 @@ pub struct ExecMetrics {
     /// sharing one [`crate::io::SimulatedIo`] across queries the snapshot
     /// is cumulative up to this query's completion.
     pub io: Option<IoMetrics>,
+    /// Real file-I/O snapshot — page-pool hits, segment reads, bytes read —
+    /// when the engine scans a persistent [`crate::FileStore`]; `None` for
+    /// in-memory engines.  Cumulative over the file store's lifetime, like
+    /// `io` over a shared subsystem.
+    pub file: Option<crate::file::FileIoMetrics>,
 }
 
 impl ExecMetrics {
@@ -300,6 +305,7 @@ mod tests {
             wall: Duration::from_millis(*busy_ms.iter().max().unwrap_or(&1)),
             planned_fragments: 2 * busy_ms.len(),
             io: None,
+            file: None,
         }
     }
 

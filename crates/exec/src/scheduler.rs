@@ -73,7 +73,10 @@ impl SchedulerConfig {
     #[must_use]
     pub fn new(workers: usize, max_in_flight: usize) -> Self {
         SchedulerConfig {
-            exec: ExecConfig::with_workers(workers),
+            exec: ExecConfig {
+                workers,
+                ..ExecConfig::default()
+            },
             max_in_flight,
         }
     }
@@ -90,7 +93,7 @@ impl SchedulerConfig {
     /// order.
     #[must_use]
     pub fn with_placement(mut self, placement: allocation::PhysicalAllocation) -> Self {
-        self.exec = self.exec.with_placement(placement);
+        self.exec.placement = Some(placement);
         self
     }
 
@@ -99,7 +102,7 @@ impl SchedulerConfig {
     /// queries).
     #[must_use]
     pub fn with_io(mut self, io: crate::io::IoConfig) -> Self {
-        self.exec = self.exec.with_io(io);
+        self.exec.io = Some(io);
         self
     }
 
@@ -109,7 +112,7 @@ impl SchedulerConfig {
     /// [`StreamOutcome::trace`].
     #[must_use]
     pub fn with_obs(mut self, obs: ObsConfig) -> Self {
-        self.exec = self.exec.with_obs(obs);
+        self.exec.obs = obs;
         self
     }
 
@@ -481,7 +484,7 @@ fn finalize(
 /// One worker's loop: claim tasks from any in-flight query until every
 /// submitted query has finished.
 fn worker_loop(shared: &Shared, engine: &StarJoinEngine, worker: usize) -> WorkerMetrics {
-    let store = engine.store();
+    let source = engine.source();
     let wall_ns_per_sim_ms = shared
         .io
         .as_ref()
@@ -522,9 +525,9 @@ fn worker_loop(shared: &Shared, engine: &StarJoinEngine, worker: usize) -> Worke
         let stolen = stolen_from.is_some();
         throttle_for(task.sim_ms, wall_ns_per_sim_ms);
         metrics.sim_io_ms += task.sim_ms;
-        let fragment = store.fragment(task.fragment);
+        let fragment = source.fetch(task.fragment);
         let (partial, compressed) =
-            process_fragment(fragment, &task.bindings, store.measure_count(), task.task);
+            process_fragment(&fragment, &task.bindings, source.measure_count(), task.task);
         metrics.busy += task_started.elapsed();
         metrics.fragments_processed += 1;
         metrics.fragments_stolen += usize::from(stolen);
@@ -604,14 +607,14 @@ impl<'e> QueryScheduler<'e> {
     /// Panics if a worker thread panics.
     #[must_use]
     pub fn run(&self, queries: &[BoundQuery]) -> StreamOutcome {
-        let store = self.engine.store();
+        let source = self.engine.source();
         let placement = self.config.exec.placement.as_ref();
         let prepared: Vec<Prepared> = queries
             .iter()
             .map(|bound| {
                 let plan = self.engine.plan(bound);
                 let seed_order = match placement {
-                    Some(placement) => placement_seed_order(&plan, store, placement),
+                    Some(placement) => placement_seed_order(&plan, source.catalog(), placement),
                     None => (0..plan.task_count()).collect(),
                 };
                 Prepared {
@@ -621,9 +624,9 @@ impl<'e> QueryScheduler<'e> {
                     fragment_rows: plan
                         .fragments()
                         .iter()
-                        .map(|&f| store.fragment(f).len() as u64)
+                        .map(|&f| source.fragment_rows(f))
                         .collect(),
-                    bitmap_fragments: plan.bitmap_fragments_per_subquery(store.catalog()),
+                    bitmap_fragments: plan.bitmap_fragments_per_subquery(source.catalog()),
                     fragments: plan.fragments().to_vec(),
                 }
             })
@@ -675,12 +678,12 @@ impl<'e> QueryScheduler<'e> {
             work: Condvar::new(),
             prepared,
             mpl: self.config.mpl(),
-            measure_count: store.measure_count(),
+            measure_count: source.measure_count(),
             io: self
                 .config
                 .exec
                 .io
-                .map(|io_config| SimulatedIo::new(io_config, store.schema())),
+                .map(|io_config| SimulatedIo::new(io_config, source.schema())),
             obs: recorder,
             started,
         };
@@ -727,6 +730,7 @@ impl<'e> QueryScheduler<'e> {
                     wall,
                     planned_fragments: total_tasks,
                     io: io_metrics,
+                    file: self.engine.source().file_metrics(),
                 },
                 queries_completed,
                 latencies,

@@ -19,6 +19,8 @@ use bitmap::{
 use mdhf::Fragmentation;
 use schema::{PageSizing, StarSchema};
 
+use crate::file::StorageError;
+
 /// Splitmix64-style mixing, shared by the deterministic skewed-row
 /// generator here and the I/O layer's track scattering
 /// ([`crate::io`]) — one copy of the finalizer constants.
@@ -34,7 +36,7 @@ pub(crate) fn mix64(seed: u64, value: u64) -> u64 {
 
 /// One fact fragment in columnar layout plus its fragment-aligned bitmap
 /// join indices.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnarFragment {
     fragment_number: u64,
     /// One column per schema dimension, each of `len()` leaf keys.
@@ -74,6 +76,23 @@ impl ColumnarFragment {
         let indices = (0..dimension_count)
             .map(|d| MaterialisedIndex::build_with_policy(schema, catalog, &sub_table, d, policy))
             .collect();
+        ColumnarFragment {
+            fragment_number,
+            keys,
+            measures,
+            indices,
+        }
+    }
+
+    /// Reassembles a fragment from already-built columns and indices — the
+    /// decode path of the on-disk format ([`crate::file`]), which
+    /// deserialises exactly these parts.
+    pub(crate) fn from_parts(
+        fragment_number: u64,
+        keys: Vec<Vec<u64>>,
+        measures: Vec<Vec<f64>>,
+        indices: Vec<MaterialisedIndex>,
+    ) -> Self {
         ColumnarFragment {
             fragment_number,
             keys,
@@ -131,7 +150,7 @@ impl ColumnarFragment {
 
 /// A fully materialised, MDHF-fragmented fact table with fragment-aligned
 /// bitmap join indices — the physical input of [`crate::StarJoinEngine`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FragmentStore {
     schema: StarSchema,
     fragmentation: Fragmentation,
@@ -251,7 +270,8 @@ impl FragmentStore {
     /// # Panics
     ///
     /// Panics if the fragmentation yields more than [`Self::MAX_FRAGMENTS`]
-    /// fragments.
+    /// fragments.  [`FragmentStore::try_from_table_with_policy`] is the
+    /// fallible equivalent.
     #[must_use]
     pub fn from_table_with_policy(
         schema: &StarSchema,
@@ -259,11 +279,32 @@ impl FragmentStore {
         table: &MaterialisedFactTable,
         policy: RepresentationPolicy,
     ) -> Self {
+        match Self::try_from_table_with_policy(schema, fragmentation, table, policy) {
+            Ok(store) => store,
+            Err(error) => panic!("{error}"),
+        }
+    }
+
+    /// Fallible [`FragmentStore::from_table_with_policy`]: instead of
+    /// panicking, over-fine fragmentations surface as
+    /// [`StorageError::Config`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Config`] when the fragmentation yields more
+    /// than [`Self::MAX_FRAGMENTS`] fragments.
+    pub fn try_from_table_with_policy(
+        schema: &StarSchema,
+        fragmentation: &Fragmentation,
+        table: &MaterialisedFactTable,
+        policy: RepresentationPolicy,
+    ) -> Result<Self, StorageError> {
         let fragment_count = fragmentation.fragment_count();
-        assert!(
-            fragment_count <= Self::MAX_FRAGMENTS,
-            "refusing to materialise {fragment_count} fragments; use a coarser fragmentation"
-        );
+        if fragment_count > Self::MAX_FRAGMENTS {
+            return Err(StorageError::Config(format!(
+                "refusing to materialise {fragment_count} fragments; use a coarser fragmentation"
+            )));
+        }
         let catalog = IndexCatalog::default_for(schema);
         let mut per_fragment: Vec<Vec<FactRow>> = vec![Vec::new(); fragment_count as usize];
         for row in table.rows() {
@@ -285,13 +326,33 @@ impl FragmentStore {
                 )
             })
             .collect();
-        FragmentStore {
+        Ok(FragmentStore {
             schema: schema.clone(),
             fragmentation: fragmentation.clone(),
             catalog,
             policy,
             fragments,
             total_rows: table.len(),
+        })
+    }
+
+    /// Reassembles a store from decoded parts — the final step of opening an
+    /// on-disk fragment file through [`crate::file::FileStore::materialise`].
+    pub(crate) fn from_parts(
+        schema: StarSchema,
+        fragmentation: Fragmentation,
+        catalog: IndexCatalog,
+        policy: RepresentationPolicy,
+        fragments: Vec<ColumnarFragment>,
+        total_rows: usize,
+    ) -> Self {
+        FragmentStore {
+            schema,
+            fragmentation,
+            catalog,
+            policy,
+            fragments,
+            total_rows,
         }
     }
 

@@ -171,9 +171,12 @@ fn single_query_engine_trace_reconciles() {
     let schema = engine.store().schema().clone();
     let query = QueryType::OneGroup.to_star_query(&schema);
     let bound = BoundQuery::new(&schema, query, vec![1]);
-    let config = ExecConfig::with_workers(3)
-        .with_io(IoConfig::with_disks(4).cache(10_000))
-        .with_obs(ObsConfig::enabled());
+    let config = ExecConfig {
+        workers: 3,
+        io: Some(IoConfig::with_disks(4).cache(10_000)),
+        obs: ObsConfig::enabled(),
+        ..ExecConfig::default()
+    };
     let result = engine.execute(&bound, &config);
     let trace = result.trace.as_ref().expect("tracing enabled");
     assert_eq!(trace.dropped, 0);

@@ -53,6 +53,16 @@ impl BufferPoolStats {
     }
 }
 
+/// Outcome of a single page request made through
+/// [`PagePool::request_reporting`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageRequest {
+    /// `true` when the page was already resident (a buffer hit).
+    pub hit: bool,
+    /// The page evicted to make room, when the pool was full on a miss.
+    pub evicted: Option<PageKey>,
+}
+
 /// A fixed-capacity LRU pool of pages.
 ///
 /// Residency is tracked with an ordered map from page to its last-use tick
@@ -115,15 +125,29 @@ impl PagePool {
     /// Requests a single page.  Returns `true` on a buffer hit; on a miss the
     /// page is installed (evicting the least recently used page if full).
     pub fn request(&mut self, key: PageKey) -> bool {
+        self.request_reporting(key).hit
+    }
+
+    /// Requests a single page like [`PagePool::request`], additionally
+    /// reporting which page (if any) was evicted to make room.
+    ///
+    /// File-backed callers that cache decoded objects alongside the pool use
+    /// the victim to invalidate those caches, keeping decoded state consistent
+    /// with page residency.
+    pub fn request_reporting(&mut self, key: PageKey) -> PageRequest {
         self.tick += 1;
         if let Some(last_use) = self.resident.get_mut(&key) {
             self.lru_order.remove(last_use);
             *last_use = self.tick;
             self.lru_order.insert(self.tick, key);
             self.stats.hits += 1;
-            return true;
+            return PageRequest {
+                hit: true,
+                evicted: None,
+            };
         }
         self.stats.misses += 1;
+        let mut evicted = None;
         if self.resident.len() >= self.capacity {
             // Evict the least recently used page (smallest tick).
             let (&victim_tick, &victim) = self
@@ -134,10 +158,14 @@ impl PagePool {
             self.lru_order.remove(&victim_tick);
             self.resident.remove(&victim);
             self.stats.evictions += 1;
+            evicted = Some(victim);
         }
         self.resident.insert(key, self.tick);
         self.lru_order.insert(self.tick, key);
-        false
+        PageRequest {
+            hit: false,
+            evicted,
+        }
     }
 
     /// Requests `count` consecutive pages of `object` starting at
@@ -257,6 +285,31 @@ mod tests {
         let misses_second_pass = pool.request_range(1, 0, 200);
         assert_eq!(misses_second_pass, 200);
         assert!(pool.stats().evictions > 0);
+    }
+
+    #[test]
+    fn request_reporting_names_the_victim() {
+        let mut pool = PagePool::new(2);
+        assert_eq!(
+            pool.request_reporting(PageKey::new(0, 0)),
+            PageRequest {
+                hit: false,
+                evicted: None
+            }
+        );
+        pool.request(PageKey::new(0, 1));
+        // Pool full: the next miss must evict page (0, 0), the LRU page.
+        let outcome = pool.request_reporting(PageKey::new(0, 2));
+        assert!(!outcome.hit);
+        assert_eq!(outcome.evicted, Some(PageKey::new(0, 0)));
+        // A hit reports no eviction.
+        assert_eq!(
+            pool.request_reporting(PageKey::new(0, 2)),
+            PageRequest {
+                hit: true,
+                evicted: None
+            }
+        );
     }
 
     #[test]

@@ -16,5 +16,5 @@
 pub mod buffer;
 pub mod disk;
 
-pub use buffer::{BufferManager, BufferPoolStats, PageKey, PagePool};
+pub use buffer::{BufferManager, BufferPoolStats, PageKey, PagePool, PageRequest};
 pub use disk::{DiskModel, DiskParameters};

@@ -42,6 +42,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod session;
+
 pub use allocation;
 pub use bitmap;
 pub use exec;
@@ -53,17 +55,23 @@ pub use simpad;
 pub use storage;
 pub use workload;
 
+pub use session::{AdmissionPolicy, Error, Session, SessionBuilder, Warehouse};
+
 /// Convenient glob-import of the most frequently used types.
 pub mod prelude {
+    pub use crate::session::{
+        AdmissionPolicy, Error as WarehouseError, Session, SessionBuilder, Warehouse,
+    };
     pub use allocation::{BitmapPlacement, PhysicalAllocation};
     pub use bitmap::{
         Bitmap, BitmapRepr, HierarchicalEncoding, IndexCatalog, ReprStats, RepresentationPolicy,
         RoaringBitmap, WahBitmap,
     };
     pub use exec::{
-        DiskIoStats, ExecConfig, ExecMetrics, FragmentStore, IoConfig, IoMetrics, ObsConfig,
-        QueryPlan, QueryResult, QueryScheduler, ScheduledQuery, SchedulerConfig, SimulatedIo,
-        StarJoinEngine, StreamOutcome, ThroughputMetrics,
+        DiskIoStats, ExecConfig, ExecMetrics, FileIoMetrics, FileStore, FileStoreOptions,
+        FragmentStore, IoConfig, IoMetrics, ObsConfig, QueryPlan, QueryResult, QueryScheduler,
+        ScanSource, ScheduledQuery, SchedulerConfig, SimulatedIo, StarJoinEngine, StreamOutcome,
+        ThroughputMetrics,
     };
     pub use mdhf::{
         classify, Advisor, AdvisorConfig, CostModel, Fragmentation, IoClass, QueryClass, StarQuery,

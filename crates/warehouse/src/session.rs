@@ -1,0 +1,445 @@
+//! The warehouse session API: one typed entry point over both storage
+//! backings.
+//!
+//! [`Warehouse`] owns a star-join engine over either an in-memory
+//! [`FragmentStore`] or a persistent `FGMT` file ([`Warehouse::open`]);
+//! [`Warehouse::session`] returns a [`SessionBuilder`] that gathers every
+//! execution knob — worker count, physical placement, simulated I/O,
+//! deterministic tracing, admission policy — and [`SessionBuilder::build`]
+//! freezes them into a [`Session`] whose [`Session::execute`] and
+//! [`Session::stream`] run queries with bit-identical results across
+//! backings, worker counts and admission policies.
+//!
+//! ```
+//! use warehouse::prelude::*;
+//!
+//! let schema = schema::apb1::apb1_scaled_down();
+//! let fragmentation =
+//!     Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+//! let warehouse = Warehouse::in_memory(FragmentStore::build(&schema, &fragmentation, 2024));
+//! let session = warehouse.session().workers(2).build();
+//!
+//! let query = QueryType::OneMonthOneGroup.to_star_query(&schema);
+//! let bound = BoundQuery::new(&schema, query, vec![3, 1]);
+//! let parallel = session.execute(&bound);
+//! let serial = warehouse.session().workers(1).build().execute(&bound);
+//! assert_eq!(parallel.hits, serial.hits);
+//! assert_eq!(parallel.measure_sums, serial.measure_sums); // bit-identical
+//! ```
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use allocation::PhysicalAllocation;
+use bitmap::ReprDecodeError;
+use exec::{
+    write_store, ExecConfig, FileStore, FileStoreOptions, FragmentStore, IoConfig, QueryPlan,
+    QueryResult, ScanSource, SchedulerConfig, StarJoinEngine, StorageError, StreamOutcome,
+};
+use obs::ObsConfig;
+use workload::BoundQuery;
+
+/// Everything that can go wrong opening, reading or configuring a
+/// warehouse.
+#[derive(Debug)]
+pub enum Error {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// A stored bitmap's `BMRP` encoding did not decode.
+    Decode(ReprDecodeError),
+    /// The file's structure is invalid: bad magic, unsupported version,
+    /// checksum mismatch, truncation, or an out-of-bounds directory.
+    Corrupt(String),
+    /// The request itself is invalid (e.g. a zero-page cache).
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Decode(e) => write!(f, "bitmap decode error: {e}"),
+            Error::Corrupt(what) => write!(f, "corrupt fragment file: {what}"),
+            Error::Config(what) => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            Error::Decode(e) => Some(e),
+            Error::Corrupt(_) | Error::Config(_) => None,
+        }
+    }
+}
+
+impl From<StorageError> for Error {
+    fn from(error: StorageError) -> Self {
+        match error {
+            StorageError::Io(e) => Error::Io(e),
+            StorageError::Decode(e) => Error::Decode(e),
+            StorageError::Corrupt(what) => Error::Corrupt(what),
+            StorageError::Config(what) => Error::Config(what),
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(error: std::io::Error) -> Self {
+        Error::Io(error)
+    }
+}
+
+/// How a [`Session`]'s multi-query stream admits work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// One query in flight at a time (single-user regime): the stream
+    /// degenerates to back-to-back executions on the shared pool.
+    Exclusive,
+    /// Up to `max_in_flight` queries decomposed into tasks concurrently —
+    /// the paper's multi-user MPL knob.
+    Concurrent {
+        /// The multi-programming level; `0` is clamped to 1.
+        max_in_flight: usize,
+    },
+}
+
+impl AdmissionPolicy {
+    /// The effective multi-programming level (at least 1).
+    #[must_use]
+    pub fn mpl(&self) -> usize {
+        match self {
+            AdmissionPolicy::Exclusive => 1,
+            AdmissionPolicy::Concurrent { max_in_flight } => (*max_in_flight).max(1),
+        }
+    }
+}
+
+/// A queryable warehouse: a star-join engine over an in-memory or
+/// persistent fragment store.
+#[derive(Debug)]
+pub struct Warehouse {
+    engine: StarJoinEngine,
+}
+
+impl Warehouse {
+    /// Opens a persistent warehouse from an `FGMT` fragment file written by
+    /// [`Warehouse::save`] (or [`exec::write_store`]).  The whole file
+    /// structure — magic, version, checksums, page directory — is verified
+    /// before any query runs.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] if the file cannot be read, [`Error::Corrupt`] if its
+    /// structure or checksums do not verify, [`Error::Decode`] if a stored
+    /// bitmap does not decode.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, Error> {
+        Ok(Warehouse {
+            engine: StarJoinEngine::from_source(FileStore::open(path)?),
+        })
+    }
+
+    /// [`Warehouse::open`] with explicit buffer-manager options (page-cache
+    /// capacity, open-time verification).
+    ///
+    /// # Errors
+    ///
+    /// As [`Warehouse::open`], plus [`Error::Config`] for invalid options.
+    pub fn open_with(path: impl AsRef<Path>, options: FileStoreOptions) -> Result<Self, Error> {
+        Ok(Warehouse {
+            engine: StarJoinEngine::from_source(FileStore::open_with(path, options)?),
+        })
+    }
+
+    /// A warehouse over an in-memory fragment store.
+    #[must_use]
+    pub fn in_memory(store: FragmentStore) -> Self {
+        Warehouse {
+            engine: StarJoinEngine::new(store),
+        }
+    }
+
+    /// Serialises the warehouse's fragments to an `FGMT` file at `path`.
+    /// A file-backed warehouse is materialised (fully read back) first, so
+    /// this also works as a verified copy.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] if writing fails; for a file-backed warehouse also any
+    /// error of the read-back.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), Error> {
+        match self.engine.source() {
+            ScanSource::Memory(store) => write_store(store, path)?,
+            ScanSource::File(file) => write_store(&file.materialise()?, path)?,
+        }
+        Ok(())
+    }
+
+    /// The engine's scan source (backing storage plus metadata).
+    #[must_use]
+    pub fn source(&self) -> &ScanSource {
+        self.engine.source()
+    }
+
+    /// The file path behind this warehouse, when file-backed.
+    #[must_use]
+    pub fn path(&self) -> Option<PathBuf> {
+        self.source().as_file().map(|f| f.path().to_path_buf())
+    }
+
+    /// The underlying engine, for call sites predating the session API.
+    #[must_use]
+    pub fn engine(&self) -> &StarJoinEngine {
+        &self.engine
+    }
+
+    /// Plans `bound` against the warehouse's schema and fragmentation.
+    #[must_use]
+    pub fn plan(&self, bound: &BoundQuery) -> QueryPlan {
+        self.engine.plan(bound)
+    }
+
+    /// Starts configuring a session: serial, no placement, no simulated
+    /// I/O, no tracing, exclusive admission.
+    #[must_use]
+    pub fn session(&self) -> SessionBuilder<'_> {
+        SessionBuilder {
+            warehouse: self,
+            workers: 1,
+            placement: None,
+            io: None,
+            obs: ObsConfig::default(),
+            policy: AdmissionPolicy::Exclusive,
+        }
+    }
+}
+
+/// Collects a [`Session`]'s execution knobs; made by [`Warehouse::session`].
+#[derive(Debug)]
+pub struct SessionBuilder<'a> {
+    warehouse: &'a Warehouse,
+    workers: usize,
+    placement: Option<PhysicalAllocation>,
+    io: Option<IoConfig>,
+    obs: ObsConfig,
+    policy: AdmissionPolicy,
+}
+
+impl<'a> SessionBuilder<'a> {
+    /// Worker-pool size; `0` resolves to the machine's available
+    /// parallelism.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Seeds worker queues in `placement`'s disk-affinity order.
+    #[must_use]
+    pub fn placement(mut self, placement: PhysicalAllocation) -> Self {
+        self.placement = Some(placement);
+        self
+    }
+
+    /// Charges fragment scans against a simulated disk subsystem.
+    #[must_use]
+    pub fn io(mut self, io: IoConfig) -> Self {
+        self.io = Some(io);
+        self
+    }
+
+    /// Records a deterministic trace of every run.
+    #[must_use]
+    pub fn obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Sets the multi-query admission policy used by [`Session::stream`].
+    #[must_use]
+    pub fn policy(mut self, policy: AdmissionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Freezes the configuration into an executable [`Session`].
+    #[must_use]
+    pub fn build(self) -> Session<'a> {
+        Session {
+            warehouse: self.warehouse,
+            config: ExecConfig {
+                workers: self.workers,
+                placement: self.placement,
+                io: self.io,
+                obs: self.obs,
+            },
+            policy: self.policy,
+        }
+    }
+}
+
+/// An executable session: a frozen configuration over a [`Warehouse`].
+#[derive(Debug)]
+pub struct Session<'a> {
+    warehouse: &'a Warehouse,
+    config: ExecConfig,
+    policy: AdmissionPolicy,
+}
+
+impl Session<'_> {
+    /// The session's frozen engine configuration.
+    #[must_use]
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// The session's admission policy.
+    #[must_use]
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Plans and executes one query.  Results are bit-identical for every
+    /// worker count, placement, I/O configuration and storage backing.
+    #[must_use]
+    pub fn execute(&self, bound: &BoundQuery) -> QueryResult {
+        self.warehouse.engine.execute(bound, &self.config)
+    }
+
+    /// Executes an existing plan (re-planning is the expensive part of
+    /// repeated-query experiments).
+    #[must_use]
+    pub fn execute_plan(&self, plan: &QueryPlan) -> QueryResult {
+        self.warehouse.engine.execute_plan(plan, &self.config)
+    }
+
+    /// Plans, admits and executes a stream of queries concurrently on one
+    /// shared worker pool under the session's [`AdmissionPolicy`].
+    #[must_use]
+    pub fn stream(&self, queries: &[BoundQuery]) -> StreamOutcome {
+        let scheduler = SchedulerConfig {
+            exec: self.config,
+            max_in_flight: self.policy.mpl(),
+        };
+        self.warehouse.engine.execute_stream(queries, &scheduler)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdhf::Fragmentation;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use workload::QueryType;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("fgmt_wh_{}_{tag}_{n}.fgmt", std::process::id()))
+    }
+
+    struct TempFile(PathBuf);
+
+    impl Drop for TempFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    fn store() -> (schema::StarSchema, FragmentStore) {
+        let schema = schema::apb1::apb1_scaled_down();
+        let fragmentation =
+            Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+        let store = FragmentStore::build(&schema, &fragmentation, 2024);
+        (schema, store)
+    }
+
+    #[test]
+    fn file_backed_session_matches_in_memory_bits() {
+        let (schema, store) = store();
+        let guard = TempFile(temp_path("roundtrip"));
+        let memory = Warehouse::in_memory(store);
+        memory.save(&guard.0).unwrap();
+        let disk = Warehouse::open(&guard.0).unwrap();
+        assert_eq!(disk.path().as_deref(), Some(guard.0.as_path()));
+        assert_eq!(memory.path(), None);
+
+        for (query_type, values) in [
+            (QueryType::OneStore, vec![7u64]),
+            (QueryType::OneMonthOneGroup, vec![3, 1]),
+            (QueryType::OneCode, vec![65]),
+        ] {
+            let bound = BoundQuery::new(&schema, query_type.to_star_query(&schema), values);
+            let mem_result = memory.session().workers(2).build().execute(&bound);
+            let disk_result = disk.session().workers(2).build().execute(&bound);
+            assert_eq!(disk_result.hits, mem_result.hits);
+            let mem_bits: Vec<u64> = mem_result
+                .measure_sums
+                .iter()
+                .map(|s| s.to_bits())
+                .collect();
+            let disk_bits: Vec<u64> = disk_result
+                .measure_sums
+                .iter()
+                .map(|s| s.to_bits())
+                .collect();
+            assert_eq!(disk_bits, mem_bits, "{}", mem_result.query_name);
+            assert!(mem_result.metrics.file.is_none());
+            let file = disk_result.metrics.file.expect("file metrics populated");
+            assert!(file.pool.misses > 0 || file.decoded_cache_hits > 0);
+        }
+    }
+
+    #[test]
+    fn streams_run_under_the_admission_policy() {
+        let (schema, store) = store();
+        let warehouse = Warehouse::in_memory(store);
+        let queries: Vec<BoundQuery> = [
+            (QueryType::OneStore, vec![7u64]),
+            (QueryType::OneGroup, vec![4]),
+            (QueryType::OneMonthOneGroup, vec![3, 1]),
+        ]
+        .into_iter()
+        .map(|(t, v)| BoundQuery::new(&schema, t.to_star_query(&schema), v))
+        .collect();
+        let session = warehouse
+            .session()
+            .workers(2)
+            .policy(AdmissionPolicy::Concurrent { max_in_flight: 2 })
+            .build();
+        assert_eq!(session.policy().mpl(), 2);
+        let outcome = session.stream(&queries);
+        assert_eq!(outcome.queries.len(), queries.len());
+        assert_eq!(outcome.metrics.mpl, 2);
+        for (bound, scheduled) in queries.iter().zip(&outcome.queries) {
+            let serial = warehouse.session().build().execute(bound);
+            assert_eq!(scheduled.hits, serial.hits);
+            assert_eq!(scheduled.measure_sums, serial.measure_sums);
+        }
+    }
+
+    #[test]
+    fn open_surfaces_typed_errors() {
+        let missing = Warehouse::open("/nonexistent/definitely/absent.fgmt");
+        assert!(matches!(missing, Err(Error::Io(_))));
+        let (_, store) = store();
+        let guard = TempFile(temp_path("badopts"));
+        let memory = Warehouse::in_memory(store);
+        memory.save(&guard.0).unwrap();
+        let zero_cache = Warehouse::open_with(
+            &guard.0,
+            FileStoreOptions {
+                cache_pages: 0,
+                ..FileStoreOptions::default()
+            },
+        );
+        match zero_cache {
+            Err(Error::Config(what)) => assert!(what.contains("cache")),
+            other => panic!("expected Config error, got {other:?}"),
+        }
+        let display = Error::Corrupt("truncated".into()).to_string();
+        assert!(display.contains("corrupt") && display.contains("truncated"));
+    }
+}

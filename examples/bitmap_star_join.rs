@@ -1,5 +1,5 @@
-//! Bitmap star-join on a materialised (scaled-down) warehouse, executed by
-//! the `exec` engine's serial path.
+//! Bitmap star-join on a materialised (scaled-down) warehouse, executed
+//! through the [`Warehouse`] session API's serial path.
 //!
 //! The full-size APB-1 fact table is never materialised — the simulator works
 //! on cardinalities.  This example builds a scaled-down instance with real
@@ -33,26 +33,28 @@ fn main() {
     // the small dimensions), as in §3.2/§4.
     let fragmentation =
         Fragmentation::parse(&schema, &["time::month", "product::group"]).expect("valid attrs");
-    let store = FragmentStore::from_table(&schema, &fragmentation, &table);
-    let engine = StarJoinEngine::new(store);
+    let warehouse =
+        Warehouse::in_memory(FragmentStore::from_table(&schema, &fragmentation, &table));
+    let store = warehouse.source().as_memory().expect("in-memory warehouse");
+    let session = warehouse.session().build();
     println!(
         "FragmentStore: {} fragments under {}, {:.1} rows/fragment on average",
-        engine.store().fragment_count(),
+        store.fragment_count(),
         fragmentation.describe(&schema),
-        engine.store().total_rows() as f64 / engine.store().fragment_count() as f64,
+        store.total_rows() as f64 / store.fragment_count() as f64,
     );
     for dimension in 0..schema.dimension_count() {
         println!(
             "  dimension {:9} -> {:2} bitmaps per fragment",
             schema.dimensions()[dimension].name(),
-            engine.store().catalog().spec(dimension).bitmap_count()
+            store.catalog().spec(dimension).bitmap_count()
         );
     }
 
     // The adaptive representation layer: sparse simple-index bitmaps are
     // stored WAH-compressed, the ~50 %-density encoded bit slices stay
     // plain; the measured ratio feeds the compressed page sizing.
-    let stats = engine.store().index_stats();
+    let stats = store.index_stats();
     println!(
         "Index storage: {} bitmaps ({} WAH-compressed), {:.1} KiB stored vs {:.1} KiB verbatim ({:.2}x)",
         stats.bitmaps,
@@ -66,16 +68,16 @@ fn main() {
     // prunes it to a single fragment and needs no bitmap at all (IOC1-opt).
     let query = QueryType::OneMonthOneGroup.to_star_query(&schema);
     let bound = BoundQuery::new(&schema, query, vec![3, 1]);
-    let plan = engine.plan(&bound);
+    let plan = warehouse.plan(&bound);
     println!();
     println!(
         "1MONTH1GROUP plan: {} of {} fragments, {} bitmap predicate(s), {:?}",
         plan.fragments().len(),
-        engine.store().fragment_count(),
+        store.fragment_count(),
         plan.bitmap_predicates().len(),
         plan.classification().io_class,
     );
-    let result = engine.execute_serial(&bound);
+    let result = session.execute(&bound);
     println!(
         "1MONTH1GROUP result: {} hit rows, SUM(UnitsSold) = {}",
         result.hits, result.measure_sums[0]
@@ -102,13 +104,13 @@ fn main() {
         QueryType::OneCodeOneQuarter.to_star_query(&schema),
         vec![65, 2],
     );
-    let plan = engine.plan(&bound);
-    let result = engine.execute_serial(&bound);
+    let plan = warehouse.plan(&bound);
+    let result = session.execute(&bound);
     println!();
     println!(
         "1CODE1QUARTER plan: {} of {} fragments, {} bitmap predicate(s), {:?}",
         plan.fragments().len(),
-        engine.store().fragment_count(),
+        store.fragment_count(),
         plan.bitmap_predicates().len(),
         plan.classification().io_class,
     );
@@ -119,7 +121,7 @@ fn main() {
 
     // Cross-check via global (unfragmented) bitmap indices: one selection
     // bitmap per predicate, intersected with the multi-way Bitmap::and_many.
-    let catalog = engine.store().catalog().clone();
+    let catalog = store.catalog().clone();
     let indices: Vec<MaterialisedIndex> = (0..schema.dimension_count())
         .map(|d| MaterialisedIndex::build(&schema, &catalog, &table, d))
         .collect();

@@ -51,7 +51,13 @@ fn every_policy_returns_bit_identical_results() {
         let reference_bits: Vec<u64> = reference.measure_sums.iter().map(|s| s.to_bits()).collect();
         for (policy, engine) in &engines {
             for workers in [1usize, 2, 8] {
-                let result = engine.execute(&bound, &ExecConfig::with_workers(workers));
+                let result = engine.execute(
+                    &bound,
+                    &ExecConfig {
+                        workers,
+                        ..ExecConfig::default()
+                    },
+                );
                 assert_eq!(
                     result.hits, reference.hits,
                     "{} under {policy:?} with {workers} workers",
@@ -142,8 +148,11 @@ fn placement_seeded_execution_is_bit_identical_to_unseeded() {
     let baseline = engine.execute_serial(&bound);
     for disks in [4u64, 10, 100] {
         for workers in [2usize, 4] {
-            let config = ExecConfig::with_workers(workers)
-                .with_placement(PhysicalAllocation::round_robin(disks));
+            let config = ExecConfig {
+                workers,
+                placement: Some(PhysicalAllocation::round_robin(disks)),
+                ..ExecConfig::default()
+            };
             let placed = engine.execute(&bound, &config);
             assert_eq!(placed.hits, baseline.hits);
             let a: Vec<u64> = baseline.measure_sums.iter().map(|s| s.to_bits()).collect();

@@ -74,7 +74,13 @@ fn parallel_execution_is_exact_and_speeds_up() {
         );
         let serial = engine.execute_serial(&bound);
         for workers in [2usize, 4, 8] {
-            let parallel = engine.execute(&bound, &ExecConfig::with_workers(workers));
+            let parallel = engine.execute(
+                &bound,
+                &ExecConfig {
+                    workers,
+                    ..ExecConfig::default()
+                },
+            );
             assert_bit_identical(&serial, &parallel, workers);
             assert_eq!(
                 parallel.metrics.total_fragments(),
@@ -116,7 +122,13 @@ fn parallel_execution_is_exact_and_speeds_up() {
         (0..3)
             .map(|_| {
                 engine
-                    .execute(&one_store, &ExecConfig::with_workers(workers))
+                    .execute(
+                        &one_store,
+                        &ExecConfig {
+                            workers,
+                            ..ExecConfig::default()
+                        },
+                    )
                     .metrics
                     .wall
             })
@@ -157,7 +169,13 @@ fn work_stealing_balances_a_skewed_store() {
 
     let serial = engine.execute_serial(&bound);
     for workers in [4usize, 8, 16] {
-        let parallel = engine.execute(&bound, &ExecConfig::with_workers(workers));
+        let parallel = engine.execute(
+            &bound,
+            &ExecConfig {
+                workers,
+                ..ExecConfig::default()
+            },
+        );
         assert_bit_identical(&serial, &parallel, workers);
         assert_eq!(parallel.metrics.total_fragments(), 12);
         assert_eq!(
