@@ -16,12 +16,37 @@
 //!   analytic per-disk load shares for weighted (e.g. Zipf-skewed) fragment
 //!   sets.
 //! * [`capacity`] — per-disk storage accounting and balance metrics.
+//! * [`nodes`] — the two-level **node → disk** generalisation for multi-node
+//!   scale-out: contiguous disk ranges owned by simulated nodes, shared-nothing
+//!   vs shared-disk reachability, and analytic per-node load shares.
+//!
+//! # Quick start
+//!
+//! ```
+//! use allocation::{NodePlacement, NodeStrategy, PhysicalAllocation};
+//!
+//! // 7 disks, round-robin facts, staggered bitmaps: fragment 10's fact
+//! // pages live on disk 3, its first two bitmaps on disks 4 and 5 — the
+//! // subquery reads three disks in parallel.
+//! let allocation = PhysicalAllocation::round_robin(7);
+//! assert_eq!(allocation.fact_disk(10), 3);
+//! assert_eq!(allocation.subquery_disks(10, 2), vec![3, 4, 5]);
+//!
+//! // Two-level scale-out placement: 4 nodes owning 2 disks each.  Under
+//! // shared-nothing only the owning node reads a disk without paying the
+//! // interconnect.
+//! let placement = NodePlacement::new(4, 2, NodeStrategy::SharedNothing);
+//! assert_eq!(placement.total_disks(), 8);
+//! assert_eq!(placement.home_node(10), 1); // fact disk 10 % 8 = 2 → node 1
+//! assert!(placement.is_local(1, 2) && !placement.is_local(0, 2));
+//! ```
 
 #![forbid(unsafe_code)]
 
 pub mod analysis;
 pub mod capacity;
 pub mod layout;
+pub mod nodes;
 
 pub use analysis::{
     disk_load_shares, effective_parallelism, load_imbalance, stride_parallelism,
@@ -29,3 +54,4 @@ pub use analysis::{
 };
 pub use capacity::{CapacityReport, DiskUsage};
 pub use layout::{BitmapPlacement, PhysicalAllocation};
+pub use nodes::{node_load_shares, NodePlacement, NodeStrategy};

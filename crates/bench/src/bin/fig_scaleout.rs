@@ -1,0 +1,429 @@
+//! Multi-node scale-out — shared-nothing vs shared-disk on the simulated
+//! node → disk subsystem.
+//!
+//! The paper's architecture is a Shared Disk parallel machine; this study
+//! asks the question it leaves open: how does the same MDHF warehouse
+//! behave when the disks are *owned* by nodes (shared-nothing) instead of
+//! reachable by every processing element (shared-disk)?  The sweep crosses
+//!
+//! * **nodes** ∈ {1, 2, 4, 8}, each owning a fixed number of disks (so
+//!   adding nodes adds I/O bandwidth — the scale-out axis),
+//! * **skew factor** θ ∈ {0, 1} on both the fact rows and the query
+//!   values (uniform → classic Zipf),
+//! * **MPL** (the multi-user admission level),
+//! * **node strategy**: [`NodeStrategy::SharedNothing`] (cross-node cache
+//!   misses ship pages over the simulated interconnect) vs
+//!   [`NodeStrategy::SharedDisk`] (every node reads every disk directly),
+//!
+//! running a mixed `1MONTH1GROUP` + `1CODE` stream against the node-aware
+//! scheduler: tasks are dealt to their fragment's home node, dry workers
+//! steal node-locally before migrating across the interconnect, and each
+//! node runs its own LRU page cache.
+//!
+//! Each point reports **simulated** queries/sec (queries over the
+//! deterministic simulated makespan — bit-reproducible on any machine;
+//! wall-clock qps is reported alongside but never gated), per-node load
+//! imbalance (measured vs the analytic `allocation::node_load_shares`
+//! prediction), interconnect traffic and the migration rate.
+//!
+//! **Gates** (deterministic):
+//!
+//! 1. **scale-out** — on the Zipf stream, shared-nothing simulated qps at
+//!    8 nodes must be at least 2× the 1-node configuration's,
+//! 2. **balance** — per-node imbalance under θ = 1 must stay within 1.5×
+//!    the uniform workload's (8 nodes, shared-nothing),
+//! 3. **bit-identity** — every query's hits and measure sums are identical
+//!    across all node counts and both strategies.
+//!
+//! Results are written as JSON (default `BENCH_scaleout.json`, override
+//! with `--json <path>`) for the CI `bench-regression` gate.
+
+use std::fmt::Write as _;
+
+use bench_support::{arg_value, quick_mode};
+use warehouse::allocation::{load_imbalance, node_load_shares};
+use warehouse::prelude::*;
+
+/// One measured sweep point, kept for the JSON report.
+struct Point {
+    nodes: u64,
+    theta: f64,
+    mpl: usize,
+    shared_nothing: bool,
+    disks: u64,
+    workers: usize,
+    queries: usize,
+    /// Simulated queries/sec — deterministic, the gated metric.
+    qps: f64,
+    /// Wall-clock queries/sec — machine-dependent, report-only.
+    wall_qps: f64,
+    node_imbalance: f64,
+    predicted_node_imbalance: f64,
+    net_ms: f64,
+    net_pages: u64,
+    migration_rate: f64,
+    cache_hit_rate: f64,
+    sim_elapsed_ms: f64,
+}
+
+/// The scaled-down warehouse of the scale-out study.
+fn study_schema() -> StarSchema {
+    schema::apb1::Apb1Config {
+        channels: 3,
+        months: 12,
+        stores: 60,
+        product_codes: 120,
+        density: 0.3,
+        fact_tuple_bytes: 20,
+    }
+    .build()
+}
+
+/// Builds the θ-skewed engine and its matching θ-skewed query stream.
+fn engine_and_stream(
+    schema: &StarSchema,
+    theta: f64,
+    rows: usize,
+    stream_len: usize,
+) -> (StarJoinEngine, Vec<BoundQuery>) {
+    let fragmentation = Fragmentation::parse(schema, &["time::month", "product::code"])
+        .expect("valid fragmentation attributes");
+    let store = FragmentStore::build_skewed(schema, &fragmentation, 2026, theta, rows);
+    let engine = StarJoinEngine::new(store);
+    // 1MONTH1GROUP and 1CODE prune on the fragmentation attributes alone;
+    // 1GROUP1STORE additionally restricts the store dimension, which is
+    // *not* a fragmentation attribute, so it drives bitmap joins — and with
+    // staggered bitmap allocation some of those bitmaps live on *remote*
+    // nodes, exercising the shared-nothing interconnect.
+    let mut stream = InterleavedStream::new(
+        schema,
+        &[
+            QueryType::OneMonthOneGroup,
+            QueryType::OneCode,
+            QueryType::OneGroupOneStore,
+        ],
+        99,
+    )
+    .with_value_skew(theta);
+    let queries = stream.take_queries(stream_len);
+    (engine, queries)
+}
+
+/// Analytic per-node imbalance prediction for the stream: fact-scan
+/// service time per distinct scanned fragment (repeat scans hit the node's
+/// cache), folded into per-node load shares by the two-level placement.
+fn predicted_node_imbalance(
+    engine: &StarJoinEngine,
+    queries: &[BoundQuery],
+    placement: &NodePlacement,
+    io: &IoConfig,
+    rows_per_page: u64,
+) -> (f64, Vec<f64>) {
+    let n = engine.store().fragment_count() as usize;
+    let mut weights = vec![0.0f64; n];
+    for query in queries {
+        for &fragment in engine.plan(query).fragments() {
+            let rows = engine.store().fragment(fragment).len() as u64;
+            if rows == 0 {
+                continue;
+            }
+            let pages = rows.div_ceil(rows_per_page);
+            let granules = pages.div_ceil(io.fact_prefetch_pages.max(1));
+            weights[fragment as usize] = io.disk.avg_seek_ms
+                + granules as f64 * io.disk.settle_controller_ms
+                + pages as f64 * io.disk.per_page_ms;
+        }
+    }
+    let shares = node_load_shares(placement, &weights);
+    (load_imbalance(&shares), shares)
+}
+
+fn json_number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn write_json(
+    path: &str,
+    quick: bool,
+    points: &[Point],
+    shares: &[(u64, f64, f64)],
+    gates: (f64, f64, f64, f64),
+) -> std::io::Result<()> {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"scaleout\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    let _ = writeln!(out, "  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"nodes\": {}, \"theta\": {}, \"mpl\": {}, \"shared_nothing\": {}, \
+             \"disks\": {}, \"workers\": {}, \"queries\": {}, \"qps\": {}, \"wall_qps\": {}, \
+             \"node_imbalance\": {}, \"predicted_node_imbalance\": {}, \"net_ms\": {}, \
+             \"net_pages\": {}, \"migration_rate\": {}, \"cache_hit_rate\": {}, \
+             \"sim_elapsed_ms\": {}}}{comma}",
+            p.nodes,
+            json_number(p.theta),
+            p.mpl,
+            p.shared_nothing,
+            p.disks,
+            p.workers,
+            p.queries,
+            json_number(p.qps),
+            json_number(p.wall_qps),
+            json_number(p.node_imbalance),
+            json_number(p.predicted_node_imbalance),
+            json_number(p.net_ms),
+            p.net_pages,
+            json_number(p.migration_rate),
+            json_number(p.cache_hit_rate),
+            json_number(p.sim_elapsed_ms),
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"node_shares\": [");
+    for (i, (node, predicted, measured)) in shares.iter().enumerate() {
+        let comma = if i + 1 < shares.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"node\": {node}, \"predicted_share\": {}, \"measured_share\": {}}}{comma}",
+            json_number(*predicted),
+            json_number(*measured)
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let (qps_1, qps_8, uniform, skewed) = gates;
+    let _ = writeln!(
+        out,
+        "  \"gate\": {{\"qps_1node\": {}, \"qps_8nodes\": {}, \"scaling\": {}, \
+         \"uniform_node_imbalance\": {}, \"zipf1_node_imbalance\": {}, \"balance_ratio\": {}}}",
+        json_number(qps_1),
+        json_number(qps_8),
+        json_number(qps_8 / qps_1),
+        json_number(uniform),
+        json_number(skewed),
+        json_number(skewed / uniform)
+    );
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let quick = quick_mode();
+    let json_path = arg_value("--json").unwrap_or_else(|| "BENCH_scaleout.json".to_string());
+    let node_axis: [u64; 4] = [1, 2, 4, 8];
+    let thetas = [0.0f64, 1.0];
+    let mpl_axis: &[usize] = if quick { &[4] } else { &[2, 8] };
+    let disks_per_node = 4u64;
+    let workers = if quick { 4 } else { 8 };
+    let rows = if quick { 60_000 } else { 150_000 };
+    let stream_len = if quick { 48 } else { 96 };
+
+    let schema = study_schema();
+    let sizing = schema::PageSizing::new(&schema);
+    let rows_per_page = sizing.fact_tuples_per_page();
+    println!("Multi-node scale-out: shared-nothing vs shared-disk on the node-aware scheduler");
+    println!(
+        "warehouse: {rows} rows, F_MonthCode fragmentation; stream: {stream_len} \
+         1MONTH1GROUP/1CODE/1GROUP1STORE queries; {disks_per_node} disks/node, {workers} workers"
+    );
+    println!();
+
+    let widths = [6usize, 6, 4, 9, 9, 9, 9, 9, 10, 7, 7];
+    bench_support::print_header(
+        &[
+            "nodes", "theta", "mpl", "strategy", "sim qps", "wall qps", "node imb", "pred imb",
+            "net [ms]", "migr", "cache",
+        ],
+        &widths,
+    );
+
+    let mut points: Vec<Point> = Vec::new();
+    let mut node_shares: Vec<(u64, f64, f64)> = Vec::new();
+    // Gate accumulators: shared-nothing simulated qps at 1 and 8 nodes on
+    // the Zipf stream (first MPL of the axis), and the 8-node per-node
+    // imbalances under θ = 0 and θ = 1.
+    let (mut qps_1node, mut qps_8nodes) = (0.0f64, 0.0f64);
+    let mut gate_imbalances: [f64; 2] = [0.0, 0.0];
+    // Bit-identity reference per θ: the 1-node shared-disk outcome.
+    for &theta in &thetas {
+        let (engine, queries) = engine_and_stream(&schema, theta, rows, stream_len);
+        let mut reference: Option<Vec<(u64, Vec<u64>)>> = None;
+        for &nodes in &node_axis {
+            for (strategy, shared_nothing) in [
+                (NodeStrategy::SharedDisk, false),
+                (NodeStrategy::SharedNothing, true),
+            ] {
+                let placement = NodePlacement::new(nodes, disks_per_node, strategy);
+                for &mpl in mpl_axis {
+                    let io = IoConfig::with_nodes(placement).cache(4_096);
+                    let metrics = engine
+                        .execute_stream(
+                            &queries,
+                            &SchedulerConfig::new(workers, mpl)
+                                .with_placement(*placement.allocation())
+                                .with_io(io),
+                        )
+                        .metrics;
+                    let io_metrics = metrics.pool.io.as_ref().expect("I/O metrics");
+                    let (predicted, predicted_shares) =
+                        predicted_node_imbalance(&engine, &queries, &placement, &io, rows_per_page);
+                    let sim_qps = stream_len as f64 / (io_metrics.elapsed_ms / 1e3).max(1e-12);
+                    let point = Point {
+                        nodes,
+                        theta,
+                        mpl,
+                        shared_nothing,
+                        disks: placement.total_disks(),
+                        workers,
+                        queries: stream_len,
+                        qps: sim_qps,
+                        wall_qps: metrics.queries_per_sec(),
+                        node_imbalance: io_metrics.node_imbalance(),
+                        predicted_node_imbalance: predicted,
+                        net_ms: io_metrics.total_net_ms(),
+                        net_pages: io_metrics.total_net_pages(),
+                        migration_rate: metrics.migration_rate(),
+                        cache_hit_rate: io_metrics.cache_hit_rate(),
+                        sim_elapsed_ms: io_metrics.elapsed_ms,
+                    };
+                    bench_support::print_row(
+                        &[
+                            nodes.to_string(),
+                            format!("{theta:.1}"),
+                            mpl.to_string(),
+                            if shared_nothing { "nothing" } else { "disk" }.to_string(),
+                            format!("{:.0}", point.qps),
+                            format!("{:.0}", point.wall_qps),
+                            format!("{:.2}x", point.node_imbalance),
+                            format!("{:.2}x", point.predicted_node_imbalance),
+                            format!("{:.1}", point.net_ms),
+                            format!("{:.2}", point.migration_rate),
+                            format!("{:.2}", point.cache_hit_rate),
+                        ],
+                        &widths,
+                    );
+                    if shared_nothing && mpl == mpl_axis[0] {
+                        if theta == 1.0 && nodes == 1 {
+                            qps_1node = point.qps;
+                        }
+                        if theta == 1.0 && nodes == 8 {
+                            qps_8nodes = point.qps;
+                        }
+                        if nodes == 8 {
+                            gate_imbalances[usize::from(theta == 1.0)] = point.node_imbalance;
+                        }
+                        // The predicted-vs-measured per-node share table at
+                        // the flagship 4-node Zipf point.
+                        if theta == 1.0 && nodes == 4 {
+                            let profile = io_metrics.node_load_profile();
+                            let total: f64 = profile.iter().sum();
+                            for (node, (&measured, &predicted)) in
+                                profile.iter().zip(&predicted_shares).enumerate()
+                            {
+                                node_shares.push((
+                                    node as u64,
+                                    predicted,
+                                    measured / total.max(1e-12),
+                                ));
+                            }
+                        }
+                    }
+                    points.push(point);
+                }
+
+                // GATE 3 (bit-identity): every query's result is identical
+                // across node counts and strategies — compare against the
+                // 1-node shared-disk reference of this θ.
+                let outcome = engine.execute_stream(
+                    &queries,
+                    &SchedulerConfig::new(workers, mpl_axis[0])
+                        .with_placement(*placement.allocation())
+                        .with_io(IoConfig::with_nodes(placement).cache(4_096)),
+                );
+                let bits: Vec<(u64, Vec<u64>)> = outcome
+                    .queries
+                    .iter()
+                    .map(|q| (q.hits, q.measure_sums.iter().map(|s| s.to_bits()).collect()))
+                    .collect();
+                match &reference {
+                    Some(reference) => assert_eq!(
+                        reference, &bits,
+                        "bit-identity gate FAILED: {nodes} nodes ({strategy:?}, θ={theta}) \
+                         diverged from the 1-node reference"
+                    ),
+                    None => reference = Some(bits),
+                }
+            }
+        }
+        println!();
+    }
+    println!("gate: results bit-identical across node counts {node_axis:?} and both strategies ✓");
+
+    // Sanity: the shared-nothing interconnect is actually exercised (remote
+    // staggered bitmaps ship pages), and shared-disk never pays for it.
+    assert!(
+        points
+            .iter()
+            .any(|p| p.shared_nothing && p.nodes > 1 && p.net_pages > 0),
+        "no shared-nothing point shipped pages over the interconnect"
+    );
+    assert!(
+        points.iter().all(|p| p.shared_nothing || p.net_pages == 0),
+        "a shared-disk point paid interconnect charges"
+    );
+
+    // GATE 1 (scale-out): 8 nodes own 8x the disks — the Zipf stream's
+    // simulated throughput must rise at least 2x over the 1-node system.
+    assert!(
+        qps_1node > 0.0 && qps_8nodes > 0.0,
+        "gate points missing from the sweep"
+    );
+    assert!(
+        qps_8nodes >= 2.0 * qps_1node,
+        "scale-out gate FAILED: 8-node simulated qps {qps_8nodes:.0} is below 2x the 1-node \
+         {qps_1node:.0}"
+    );
+    println!(
+        "gate: 8-node simulated qps {qps_8nodes:.0} ≥ 2× 1-node {qps_1node:.0} \
+         (scaling {:.2}x) ✓",
+        qps_8nodes / qps_1node
+    );
+
+    // GATE 2 (balance): Zipf skew must not wreck the per-node balance.
+    let (uniform, skewed) = (gate_imbalances[0], gate_imbalances[1]);
+    let limit = 1.5;
+    assert!(
+        uniform > 0.0 && skewed > 0.0,
+        "balance gate points missing from the sweep"
+    );
+    assert!(
+        skewed <= limit * uniform,
+        "balance gate FAILED: θ=1 per-node imbalance {skewed:.3}x exceeds {limit}× the \
+         uniform workload's {uniform:.3}x"
+    );
+    println!(
+        "gate: θ=1 per-node imbalance {skewed:.2}x ≤ {limit}× uniform {uniform:.2}x \
+         (ratio {:.2}) ✓",
+        skewed / uniform
+    );
+
+    match write_json(
+        &json_path,
+        quick,
+        &points,
+        &node_shares,
+        (qps_1node, qps_8nodes, uniform, skewed),
+    ) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(err) => {
+            eprintln!("failed to write {json_path}: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -4,6 +4,15 @@
 //! Every binary in `src/bin/` prints the same rows/series the paper reports,
 //! using these helpers to build the APB-1 schema, the fragmentations under
 //! test and the simulator setups.
+//!
+//! # Quick start
+//!
+//! ```
+//! // The schema and fragmentation every figure binary starts from.
+//! let schema = bench_support::paper_schema();
+//! let fragmentation = bench_support::f_month_group(&schema);
+//! assert_eq!(fragmentation.fragment_count(), 11_520);
+//! ```
 
 #![forbid(unsafe_code)]
 

@@ -32,8 +32,25 @@
 //!   over a materialised (scaled-down) fact table, used by the examples and
 //!   integration tests to validate the logical model against actual data,
 //! * [`fragment`] — bitmap fragmentation aligned with fact-table fragments.
+//!
+//! # Quick start
+//!
+//! ```
+//! use bitmap::{Bitmap, WahBitmap};
+//!
+//! // Two selection bitmaps over ten fact rows…
+//! let month = Bitmap::from_positions(10, [1, 3, 5, 7, 9]);
+//! let group = Bitmap::from_positions(10, [3, 4, 5]);
+//!
+//! // …ANDed to the qualifying rows, uncompressed or compressed-domain.
+//! let hits = month.and(&group);
+//! assert_eq!(hits, Bitmap::from_positions(10, [3, 5]));
+//! let wah = WahBitmap::compress(&month).and(&WahBitmap::compress(&group));
+//! assert_eq!(wah.decompress(), hits);
+//! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod bitvec;
 pub mod builder;

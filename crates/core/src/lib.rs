@@ -21,6 +21,24 @@
 //!   companion report; validated against Table 3),
 //! * [`advisor`] — the §4.7 guidelines packaged as a fragmentation advisor
 //!   that ranks candidate fragmentations for a weighted query mix.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mdhf::{classify, Fragmentation, StarQuery};
+//!
+//! let schema = schema::apb1::apb1_schema();
+//! let fragmentation =
+//!     Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+//! assert_eq!(fragmentation.fragment_count(), 11_520);
+//!
+//! // The §3.1 sample query matches both fragmentation attributes exactly:
+//! // a Q1 query processing a single fragment.
+//! let query = StarQuery::exact_match(&schema, "1MONTH1GROUP",
+//!                                    &["time::month", "product::group"]);
+//! let classification = classify(&schema, &fragmentation, &query);
+//! assert_eq!(classification.fragments_to_process, 1);
+//! ```
 
 #![forbid(unsafe_code)]
 

@@ -13,11 +13,20 @@
 //!   [`allocation::PhysicalAllocation::fact_disk`], its bitmap fragments to
 //!   the staggered [`allocation::PhysicalAllocation::bitmap_disk`] disks —
 //!   the same placement the seed order of the work-stealing pool follows.
-//! * **A shared LRU page cache.**  One [`storage::PagePool`] in front of
-//!   all disks, with hits and misses attributed to the disk that would have
-//!   served the page.  Repeated scans of hot fragments are absorbed here,
-//!   which is exactly what flattens the per-disk load profile of a
+//! * **Per-node LRU page caches.**  One [`storage::PagePool`] per simulated
+//!   node (a single pool in front of all disks on the default one-node
+//!   subsystem), with hits and misses attributed to the disk that would
+//!   have served the page.  Repeated scans of hot fragments are absorbed
+//!   here, which is exactly what flattens the per-disk load profile of a
 //!   Zipf-skewed workload.
+//! * **Simulated nodes and an interconnect.**  [`IoConfig::with_nodes`]
+//!   splits the disks into equal contiguous ranges owned by simulated
+//!   nodes ([`allocation::NodePlacement`]).  A scan executes on its fact
+//!   fragment's home node; under
+//!   [`allocation::NodeStrategy::SharedNothing`] every cache miss on
+//!   another node's disk additionally ships its pages over the executing
+//!   node's FIFO interconnect lane ([`IoConfig::network_ms_per_page`]),
+//!   traced as `NetTransfer` spans on the node track.
 //! * **A [`DiskClock`].**  All simulated time lives on a deterministic
 //!   clock: scans are charged in *plan order* (single query) or *admission
 //!   order* (scheduler), never in thread-arrival order, so every per-disk
@@ -38,7 +47,7 @@
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use allocation::PhysicalAllocation;
+use allocation::{NodePlacement, NodeStrategy, PhysicalAllocation};
 use obs::{us_from_ms, EventKind, FieldKey, TraceRecorder, Track};
 use schema::{PageSizing, StarSchema};
 use storage::{BufferPoolStats, DiskModel, DiskParameters, PagePool};
@@ -73,6 +82,18 @@ pub struct IoConfig {
     /// simulated I/O; `false` falls back to plain deque-length weighting
     /// (the skew-oblivious baseline of the resilience experiments).
     pub steal_by_io: bool,
+    /// Number of simulated nodes owning the disks in equal contiguous
+    /// ranges; 1 (the default) is the flat single-machine subsystem.
+    pub nodes: u64,
+    /// How nodes reach each other's disks: under
+    /// [`NodeStrategy::SharedNothing`] a scan executing on one node whose
+    /// pages miss the cache on another node's disk ships them over the
+    /// interconnect; [`NodeStrategy::SharedDisk`] (the default) reaches
+    /// every disk directly.
+    pub node_strategy: NodeStrategy,
+    /// Simulated interconnect cost per cross-node page, in ms (only charged
+    /// under [`NodeStrategy::SharedNothing`]).
+    pub network_ms_per_page: f64,
 }
 
 impl IoConfig {
@@ -99,7 +120,29 @@ impl IoConfig {
             bitmap_prefetch_pages: 5,
             wall_ns_per_sim_ms: 0,
             steal_by_io: true,
+            nodes: 1,
+            node_strategy: NodeStrategy::SharedDisk,
+            network_ms_per_page: 0.1,
         }
+    }
+
+    /// The default configuration over a two-level node → disk placement:
+    /// the wrapped allocation's disks, owned by the placement's nodes under
+    /// its strategy, each node with its own page cache.
+    #[must_use]
+    pub fn with_nodes(placement: NodePlacement) -> Self {
+        IoConfig {
+            nodes: placement.nodes(),
+            node_strategy: placement.strategy(),
+            ..Self::with_allocation(*placement.allocation())
+        }
+    }
+
+    /// Sets the simulated interconnect cost per cross-node page, in ms.
+    #[must_use]
+    pub fn network(mut self, network_ms_per_page: f64) -> Self {
+        self.network_ms_per_page = network_ms_per_page;
+        self
     }
 
     /// Sets the shared page-cache capacity (`0` disables the cache).
@@ -129,6 +172,16 @@ impl IoConfig {
     pub fn disks(&self) -> u64 {
         self.allocation.disks()
     }
+
+    /// The two-level placement this configuration describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` does not divide the disk count.
+    #[must_use]
+    pub fn node_placement(&self) -> NodePlacement {
+        NodePlacement::over(self.allocation, self.nodes, self.node_strategy)
+    }
 }
 
 /// The simulated I/O charged to one fragment scan.
@@ -146,6 +199,14 @@ pub struct TaskIo {
     pub cache_misses: u64,
     /// The disk holding the scan's fact fragment.
     pub fact_disk: u64,
+    /// The node the scan executed on — the owner of its fact disk, a
+    /// deterministic function of the fragment number (0 on a single node).
+    pub node: u64,
+    /// Pages that missed the cache on another node's disk and travelled
+    /// over the interconnect (0 under shared disk).
+    pub remote_pages: u64,
+    /// Simulated interconnect time within `sim_ms`, in ms.
+    pub net_ms: f64,
     /// Simulated time at which the scan's earliest disk request started, in
     /// ms on the [`DiskClock`] (0 for fully cached or empty scans).
     pub sim_start_ms: f64,
@@ -282,16 +343,47 @@ impl DiskIoStats {
     }
 }
 
+/// Per-node accounting of one simulated subsystem: the node's disks folded
+/// together plus its interconnect lane and private cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NodeIoStats {
+    /// Node number under the configured node placement.
+    pub node: u64,
+    /// Simulated busy time summed over the node's owned disks, in ms.
+    pub disk_busy_ms: f64,
+    /// Simulated busy time of the node's interconnect lane, in ms.
+    pub net_ms: f64,
+    /// Pages shipped to this node over the interconnect.
+    pub net_pages: u64,
+    /// Page requests satisfied by this node's private cache.
+    pub cache_hits: u64,
+    /// Page requests on this node that went to a platter.
+    pub cache_misses: u64,
+}
+
+impl NodeIoStats {
+    /// The node's total simulated load: disk busy time plus interconnect
+    /// time — the per-node counterpart of a disk's `busy_ms`.
+    #[must_use]
+    pub fn load_ms(&self) -> f64 {
+        self.disk_busy_ms + self.net_ms
+    }
+}
+
 /// A snapshot of the simulated subsystem: per-disk utilisation and queue
 /// statistics plus the shared cache's counters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IoMetrics {
     /// Per-disk accounting, indexed by disk number.
     pub per_disk: Vec<DiskIoStats>,
-    /// Shared LRU page-cache counters (all zero when the cache is
-    /// disabled).
+    /// Per-node accounting, indexed by node number (one entry on a flat
+    /// single-machine subsystem).
+    pub per_node: Vec<NodeIoStats>,
+    /// LRU page-cache counters summed over the per-node pools (all zero
+    /// when the cache is disabled).
     pub cache: BufferPoolStats,
-    /// Elapsed simulated time (the parallel-disk makespan), in ms.
+    /// Elapsed simulated time (the parallel-disk makespan, including
+    /// interconnect lanes), in ms.
     pub elapsed_ms: f64,
 }
 
@@ -355,6 +447,40 @@ impl IoMetrics {
     pub fn busy_profile(&self) -> Vec<f64> {
         self.per_disk.iter().map(|d| d.busy_ms).collect()
     }
+
+    /// Number of simulated nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// Measured per-node load imbalance: the busiest node's simulated load
+    /// (disks + interconnect) over the mean, via the shared
+    /// [`allocation::load_imbalance`] formula — the measured counterpart of
+    /// [`allocation::node_load_shares`] predictions.
+    #[must_use]
+    pub fn node_imbalance(&self) -> f64 {
+        allocation::load_imbalance(&self.node_load_profile())
+    }
+
+    /// The per-node simulated loads (disk busy + interconnect), for
+    /// analytic cross-validation.
+    #[must_use]
+    pub fn node_load_profile(&self) -> Vec<f64> {
+        self.per_node.iter().map(NodeIoStats::load_ms).collect()
+    }
+
+    /// Total simulated interconnect time over all nodes, in ms.
+    #[must_use]
+    pub fn total_net_ms(&self) -> f64 {
+        self.per_node.iter().map(|n| n.net_ms).sum()
+    }
+
+    /// Total pages shipped across nodes over the interconnect.
+    #[must_use]
+    pub fn total_net_pages(&self) -> u64 {
+        self.per_node.iter().map(|n| n.net_pages).sum()
+    }
 }
 
 /// One simulated disk: the service-time model plus its counters.
@@ -373,7 +499,14 @@ struct DiskSim {
 struct IoState {
     disks: Vec<DiskSim>,
     clock: DiskClock,
-    cache: Option<PagePool>,
+    /// One private LRU page pool per node (empty when the cache is
+    /// disabled); a single-node subsystem has exactly the old shared pool.
+    caches: Vec<PagePool>,
+    /// One interconnect FIFO lane per node, on the same clock model as the
+    /// disks.
+    net: DiskClock,
+    /// Pages shipped to each node over the interconnect.
+    net_pages: Vec<u64>,
 }
 
 /// The simulated multi-disk subsystem the engine charges fragment scans
@@ -389,8 +522,20 @@ pub struct SimulatedIo {
 impl SimulatedIo {
     /// Creates an idle subsystem; page arithmetic derives from `schema`'s
     /// [`PageSizing`] (4 KB pages, tuple-size rows per page).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured node count is zero or does not divide the
+    /// disk count (nodes own equal, contiguous disk ranges).
     #[must_use]
     pub fn new(config: IoConfig, schema: &StarSchema) -> Self {
+        assert!(config.nodes > 0, "need at least one node");
+        assert!(
+            config.disks().is_multiple_of(config.nodes),
+            "node count {} must divide disk count {}",
+            config.nodes,
+            config.disks()
+        );
         let sizing = PageSizing::new(schema);
         let disks = (0..config.disks())
             .map(|_| DiskSim {
@@ -402,16 +547,31 @@ impl SimulatedIo {
                 cache_misses: 0,
             })
             .collect();
+        let nodes = usize::try_from(config.nodes).expect("node count fits usize");
         SimulatedIo {
             rows_per_page: sizing.fact_tuples_per_page().max(1),
             page_bytes: sizing.page_size_bytes(),
             state: Mutex::new(IoState {
                 disks,
                 clock: DiskClock::new(config.disks()),
-                cache: (config.cache_pages > 0).then(|| PagePool::new(config.cache_pages)),
+                caches: if config.cache_pages > 0 {
+                    (0..nodes)
+                        .map(|_| PagePool::new(config.cache_pages))
+                        .collect()
+                } else {
+                    Vec::new()
+                },
+                net: DiskClock::new(config.nodes),
+                net_pages: vec![0; nodes],
             }),
             config,
         }
+    }
+
+    /// The node owning `disk` — disks are owned in equal contiguous ranges.
+    fn node_of_disk(&self, disk: u64) -> u64 {
+        let per_node = self.config.disks() / self.config.nodes;
+        (disk / per_node).min(self.config.nodes - 1)
     }
 
     /// The subsystem's configuration.
@@ -466,8 +626,10 @@ impl SimulatedIo {
             "at most {} bitmap fragments per scan",
             OBJECT_STRIDE - 1
         );
+        let fact_disk = self.config.allocation.fact_disk(fragment_no);
         let mut out = TaskIo {
-            fact_disk: self.config.allocation.fact_disk(fragment_no),
+            fact_disk,
+            node: self.node_of_disk(fact_disk),
             ..TaskIo::default()
         };
         if rows == 0 {
@@ -502,6 +664,34 @@ impl SimulatedIo {
             );
             start_ms = start_ms.min(object_start);
             end_ms = end_ms.max(object_end);
+        }
+        // Shared nothing: pages fetched from another node's disks travel
+        // over the executing node's interconnect lane, FIFO like a disk.
+        if out.remote_pages > 0 {
+            let service = out.remote_pages as f64 * self.config.network_ms_per_page;
+            let net_start = state.net.advance(out.node, service);
+            let net_end = net_start + service;
+            state.net_pages[usize::try_from(out.node).expect("node fits usize")] +=
+                out.remote_pages;
+            out.net_ms = service;
+            out.sim_ms += service;
+            start_ms = start_ms.min(net_start);
+            end_ms = end_ms.max(net_end);
+            if let Some(rec) = recorder {
+                rec.record(
+                    Track::Node(out.node as u32),
+                    EventKind::NetTransfer,
+                    us_from_ms(net_start),
+                    us_from_ms(net_end).saturating_sub(us_from_ms(net_start)),
+                    vec![
+                        (FieldKey::Query, u64::from(ctx.query)),
+                        (FieldKey::Task, u64::from(ctx.task)),
+                        (FieldKey::Fragment, fragment_no),
+                        (FieldKey::Pages, out.remote_pages),
+                        (FieldKey::SimMsBits, service.to_bits()),
+                    ],
+                );
+            }
         }
         out.sim_start_ms = start_ms;
         out.sim_end_ms = end_ms;
@@ -544,6 +734,12 @@ impl SimulatedIo {
     ) -> (f64, f64) {
         let track = object_track(object, self.config.disk.tracks);
         let prefetch = prefetch_pages.max(1);
+        // Cache lookups go through the *executing* node's private pool;
+        // shared-nothing misses on a remote disk additionally ship their
+        // pages over the interconnect (charged once per scan by the caller).
+        let exec_node = usize::try_from(out.node).expect("node fits usize");
+        let remote = matches!(self.config.node_strategy, NodeStrategy::SharedNothing)
+            && self.node_of_disk(disk) != out.node;
         state.disks[disk as usize].scans += 1;
         let start_ms = state.clock.busy_ms(disk);
         let mut object_hits = 0u64;
@@ -551,7 +747,7 @@ impl SimulatedIo {
         let mut page = 0;
         while page < pages {
             let granule = prefetch.min(pages - page);
-            let misses = match &mut state.cache {
+            let misses = match state.caches.get_mut(exec_node) {
                 Some(cache) => cache.request_range(object, page, granule),
                 None => granule,
             };
@@ -572,6 +768,9 @@ impl SimulatedIo {
                 out.pages_read += misses;
                 out.cache_misses += misses;
                 object_misses += misses;
+                if remote {
+                    out.remote_pages += misses;
+                }
             }
             page += granule;
         }
@@ -639,7 +838,8 @@ impl SimulatedIo {
     /// Panics if the state lock is poisoned.
     #[must_use]
     pub fn sim_elapsed_ms(&self) -> f64 {
-        self.state.plock("simulated I/O state").clock.elapsed_ms()
+        let state = self.state.plock("simulated I/O state");
+        state.clock.elapsed_ms().max(state.net.elapsed_ms())
     }
 
     /// A snapshot of the subsystem's accounting.
@@ -650,8 +850,8 @@ impl SimulatedIo {
     #[must_use]
     pub fn metrics(&self) -> IoMetrics {
         let state = self.state.plock("simulated I/O state");
-        let elapsed_ms = state.clock.elapsed_ms();
-        let per_disk = state
+        let elapsed_ms = state.clock.elapsed_ms().max(state.net.elapsed_ms());
+        let per_disk: Vec<DiskIoStats> = state
             .disks
             .iter()
             .enumerate()
@@ -671,13 +871,38 @@ impl SimulatedIo {
                 cache_misses: d.cache_misses,
             })
             .collect();
+        let per_node = (0..self.config.nodes)
+            .map(|n| {
+                let (pool_hits, pool_misses) = state
+                    .caches
+                    .get(usize::try_from(n).expect("node fits usize"))
+                    .map(PagePool::stats)
+                    .map_or((0, 0), |s| (s.hits, s.misses));
+                NodeIoStats {
+                    node: n,
+                    disk_busy_ms: per_disk
+                        .iter()
+                        .filter(|d| self.node_of_disk(d.disk) == n)
+                        .map(|d| d.busy_ms)
+                        .sum(),
+                    net_ms: state.net.busy_ms(n),
+                    net_pages: state.net_pages[usize::try_from(n).expect("node fits usize")],
+                    cache_hits: pool_hits,
+                    cache_misses: pool_misses,
+                }
+            })
+            .collect();
+        let mut cache = BufferPoolStats::default();
+        for pool in &state.caches {
+            let s = pool.stats();
+            cache.hits += s.hits;
+            cache.misses += s.misses;
+            cache.evictions += s.evictions;
+        }
         IoMetrics {
             per_disk,
-            cache: state
-                .cache
-                .as_ref()
-                .map(PagePool::stats)
-                .unwrap_or_default(),
+            per_node,
+            cache,
             elapsed_ms,
         }
     }
@@ -849,6 +1074,136 @@ mod tests {
         }
         let m = io.metrics();
         assert!(m.disk_imbalance() > 2.0, "{}", m.disk_imbalance());
+    }
+
+    fn node_subsystem(
+        nodes: u64,
+        disks_per_node: u64,
+        strategy: NodeStrategy,
+        cache_pages: usize,
+    ) -> SimulatedIo {
+        let placement = NodePlacement::new(nodes, disks_per_node, strategy);
+        SimulatedIo::new(
+            IoConfig::with_nodes(placement).cache(cache_pages),
+            &apb1_scaled_down(),
+        )
+    }
+
+    #[test]
+    fn single_node_is_the_flat_subsystem() {
+        // nodes = 1 + shared disk must reproduce the flat arithmetic bit
+        // for bit: same charges, same metrics.
+        let flat = subsystem(4, 256);
+        let noded = node_subsystem(1, 4, NodeStrategy::SharedDisk, 256);
+        for f in 0..20 {
+            let a = flat.charge_scan(f, 5_000 + f * 131, 3);
+            let b = noded.charge_scan(f, 5_000 + f * 131, 3);
+            assert_eq!(a.sim_ms.to_bits(), b.sim_ms.to_bits());
+            assert_eq!(a.pages_read, b.pages_read);
+            assert_eq!(a.cache_hits, b.cache_hits);
+            assert_eq!(b.node, 0);
+            assert_eq!(b.remote_pages, 0);
+            assert_eq!(b.net_ms, 0.0);
+        }
+        let (fm, nm) = (flat.metrics(), noded.metrics());
+        assert_eq!(fm.per_disk, nm.per_disk);
+        assert_eq!(fm.cache, nm.cache);
+        assert_eq!(nm.node_count(), 1);
+        assert_eq!(nm.node_imbalance(), 1.0);
+        assert_eq!(nm.total_net_pages(), 0);
+    }
+
+    #[test]
+    fn shared_nothing_charges_the_interconnect() {
+        // 2 nodes × 2 disks, no cache.  Fragment 0's fact pages are local
+        // to node 0 (disk 0) but its staggered bitmaps land on disks 1 and
+        // 2 — disk 2 is node 1's, so those pages ship over the wire.
+        let io = node_subsystem(2, 2, NodeStrategy::SharedNothing, 0);
+        let t = io.charge_scan(0, 4_000, 2);
+        assert_eq!(t.node, 0);
+        assert!(t.remote_pages > 0);
+        assert!(t.net_ms > 0.0);
+        assert!((t.net_ms - t.remote_pages as f64 * 0.1).abs() < 1e-12);
+        assert!(t.sim_end_ms >= t.net_ms);
+        let m = io.metrics();
+        assert_eq!(m.node_count(), 2);
+        assert_eq!(m.per_node[0].net_pages, t.remote_pages);
+        assert_eq!(m.per_node[1].net_pages, 0);
+        assert!((m.total_net_ms() - t.net_ms).abs() < 1e-12);
+        assert_eq!(m.total_net_pages(), t.remote_pages);
+        // The makespan includes the interconnect lane.
+        assert!(m.elapsed_ms >= m.per_node[0].net_ms);
+    }
+
+    #[test]
+    fn shared_disk_never_pays_the_interconnect() {
+        let io = node_subsystem(2, 2, NodeStrategy::SharedDisk, 0);
+        let t = io.charge_scan(0, 4_000, 2);
+        assert_eq!(t.remote_pages, 0);
+        assert_eq!(t.net_ms, 0.0);
+        assert_eq!(io.metrics().total_net_ms(), 0.0);
+        assert_eq!(io.metrics().total_net_pages(), 0);
+    }
+
+    #[test]
+    fn node_charging_is_deterministic_across_runs() {
+        let charge = |io: &SimulatedIo| -> Vec<TaskIo> {
+            (0..24)
+                .map(|f| io.charge_scan(f, 3_000 + f * 97, 3))
+                .collect()
+        };
+        let a = node_subsystem(4, 2, NodeStrategy::SharedNothing, 128);
+        let b = node_subsystem(4, 2, NodeStrategy::SharedNothing, 128);
+        assert_eq!(charge(&a), charge(&b));
+        assert_eq!(a.metrics(), b.metrics());
+        assert!(a.metrics().total_net_pages() > 0);
+    }
+
+    #[test]
+    fn per_node_cache_counters_attribute_to_the_executing_node() {
+        let io = node_subsystem(2, 2, NodeStrategy::SharedNothing, 512);
+        // Fragment 0 executes on node 0, fragment 2 on node 1.
+        io.charge_scan(0, 4_000, 0);
+        io.charge_scan(0, 4_000, 0);
+        io.charge_scan(2, 4_000, 0);
+        let m = io.metrics();
+        assert!(m.per_node[0].cache_hits > 0);
+        assert!(m.per_node[0].cache_misses > 0);
+        assert_eq!(m.per_node[1].cache_hits, 0);
+        assert!(m.per_node[1].cache_misses > 0);
+        assert_eq!(
+            m.cache.hits,
+            m.per_node.iter().map(|n| n.cache_hits).sum::<u64>()
+        );
+        assert_eq!(
+            m.cache.misses,
+            m.per_node.iter().map(|n| n.cache_misses).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn node_imbalance_reflects_a_hot_node() {
+        let io = node_subsystem(2, 2, NodeStrategy::SharedNothing, 0);
+        // All load on node 0's disks (fragments 0, 1 → disks 0, 1).
+        io.charge_scan(0, 40_000, 0);
+        io.charge_scan(1, 40_000, 0);
+        let m = io.metrics();
+        assert!(
+            (m.node_imbalance() - 2.0).abs() < 1e-9,
+            "{}",
+            m.node_imbalance()
+        );
+        assert!((m.per_node[0].load_ms() - m.per_node[0].disk_busy_ms).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn uneven_node_split_rejected() {
+        let config = IoConfig {
+            nodes: 3,
+            ..IoConfig::with_disks(4)
+        };
+        let _ = SimulatedIo::new(config, &apb1_scaled_down());
     }
 
     #[test]

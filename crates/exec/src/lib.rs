@@ -68,6 +68,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod engine;
 pub mod file;
@@ -85,7 +86,9 @@ pub use file::{
     write_store, FileIoMetrics, FileStore, FileStoreOptions, StorageError, FORMAT_VERSION,
     PAGE_SIZE,
 };
-pub use io::{DiskClock, DiskIoStats, IoConfig, IoMetrics, ScanCtx, SimulatedIo, TaskIo};
+pub use io::{
+    DiskClock, DiskIoStats, IoConfig, IoMetrics, NodeIoStats, ScanCtx, SimulatedIo, TaskIo,
+};
 pub use metrics::{ExecMetrics, ThroughputMetrics, WorkerMetrics};
 pub use obs::ObsConfig;
 pub use plan::{PredicateBinding, QueryPlan};

@@ -27,6 +27,14 @@ pub struct WorkerMetrics {
     /// Simulated I/O time of the tasks this worker executed, in ms (0 when
     /// the I/O layer is off).
     pub sim_io_ms: f64,
+    /// Tasks this worker executed although their fragment's home node is a
+    /// different simulated node — inter-node work migration under the
+    /// shared-nothing multi-node scheduler (always 0 in single-node runs).
+    pub tasks_migrated: usize,
+    /// Migrated tasks whose fragment was not yet replicated on this
+    /// worker's node: the first cross-node pull ships a replica (a
+    /// wall-clock charge); later migrations of the same fragment hit it.
+    pub fragments_replicated: usize,
     /// Time the worker spent between its first and last claim.
     pub busy: Duration,
 }
@@ -77,6 +85,20 @@ impl ExecMetrics {
     #[must_use]
     pub fn total_compressed(&self) -> usize {
         self.workers.iter().map(|w| w.fragments_compressed).sum()
+    }
+
+    /// Tasks executed off their fragment's home node (shared-nothing
+    /// inter-node migration); 0 in single-node runs.
+    #[must_use]
+    pub fn total_migrated(&self) -> usize {
+        self.workers.iter().map(|w| w.tasks_migrated).sum()
+    }
+
+    /// First-time cross-node fragment pulls that shipped a replica; 0 in
+    /// single-node runs.
+    #[must_use]
+    pub fn total_replicated(&self) -> usize {
+        self.workers.iter().map(|w| w.fragments_replicated).sum()
     }
 
     /// Fact rows aggregated across all workers.
@@ -269,6 +291,17 @@ impl ThroughputMetrics {
         self.pool.total_stolen() as f64 / total as f64
     }
 
+    /// Fraction of tasks that crossed a node boundary to execute
+    /// (shared-nothing inter-node migration); 0 in single-node runs.
+    #[must_use]
+    pub fn migration_rate(&self) -> f64 {
+        let total = self.pool.total_fragments();
+        if total == 0 {
+            return 0.0;
+        }
+        self.pool.total_migrated() as f64 / total as f64
+    }
+
     /// Fraction of tasks executed by the worker they were seeded to — with
     /// a placement-aware seed order, the disk-affinity hit rate (a stolen
     /// task runs off its affine disk stripe).
@@ -299,6 +332,8 @@ mod tests {
                     rows_scanned: 100,
                     rows_matched: 10,
                     sim_io_ms: 1.5,
+                    tasks_migrated: usize::from(worker > 1),
+                    fragments_replicated: usize::from(worker > 2),
                     busy: Duration::from_millis(ms),
                 })
                 .collect(),
@@ -316,6 +351,8 @@ mod tests {
         assert_eq!(m.total_fragments(), 8);
         assert_eq!(m.total_stolen(), 3);
         assert_eq!(m.total_compressed(), 4);
+        assert_eq!(m.total_migrated(), 2);
+        assert_eq!(m.total_replicated(), 1);
         assert_eq!(m.total_rows_scanned(), 400);
         assert_eq!(m.planned_fragments, m.total_fragments());
         assert!((m.total_sim_io_ms() - 6.0).abs() < 1e-12);
@@ -393,5 +430,7 @@ mod tests {
         assert!((t.steal_rate() - 3.0 / 8.0).abs() < 1e-12);
         assert!((t.affinity_hit_rate() - 5.0 / 8.0).abs() < 1e-12);
         assert!((t.steal_rate() + t.affinity_hit_rate() - 1.0).abs() < 1e-12);
+        // metrics() marks workers 2 and 3 as having migrated one task each.
+        assert!((t.migration_rate() - 2.0 / 8.0).abs() < 1e-12);
     }
 }

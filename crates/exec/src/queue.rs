@@ -88,7 +88,14 @@ impl<T> StealDeques<T> {
     /// Loads can change between snapshot and steal, so victims are re-checked
     /// under their lock in descending-cost order until one yields a task.
     pub fn steal(&self, worker: usize) -> Option<(T, usize)> {
-        let mut victims: Vec<(u64, usize)> = (0..self.deques.len())
+        self.steal_within(worker, 0, self.deques.len())
+    }
+
+    /// [`StealDeques::steal`] restricted to victims in `lo..hi` — the
+    /// node-local steal of the multi-node scheduler, where a worker raids
+    /// its own node's deques before migrating work across the interconnect.
+    pub fn steal_within(&self, worker: usize, lo: usize, hi: usize) -> Option<(T, usize)> {
+        let mut victims: Vec<(u64, usize)> = (lo..hi.min(self.deques.len()))
             .filter(|&v| v != worker)
             .map(|v| (self.lock(v).remaining_cost, v))
             .filter(|&(cost, _)| cost > 0)
@@ -292,6 +299,20 @@ mod tests {
         // deque.
         assert_eq!(deques.steal(2), Some((11, 0)));
         assert_eq!(deques.total_len(), 1);
+    }
+
+    #[test]
+    fn range_restricted_steal_never_raids_outside_the_range() {
+        // Worker 3's node owns workers 2..4; worker 0 (outside the range)
+        // holds the most expensive task but must not be raided.
+        let deques: StealDeques<usize> = StealDeques::new(4);
+        deques.push(0, 10, 100);
+        deques.push(2, 20, 1);
+        assert_eq!(deques.steal_within(3, 2, 4), Some((20, 2)));
+        // The range is now dry even though worker 0 still has work.
+        assert_eq!(deques.steal_within(3, 2, 4), None);
+        // The unrestricted steal (= full-range) still reaches it.
+        assert_eq!(deques.steal(3), Some((10, 0)));
     }
 
     #[test]

@@ -32,16 +32,29 @@
 //!   `merge_partials`), so every query's hits and measure sums are
 //!   bit-identical to its isolated serial run, for every MPL, worker count
 //!   and scheduling interleave,
+//! * when the I/O layer simulates a **shared-nothing multi-node** system
+//!   ([`crate::io::IoConfig::nodes`] > 1 with
+//!   [`allocation::NodeStrategy::SharedNothing`]), the pool splits into
+//!   per-node worker ranges: each admitted task is dealt to a worker on its
+//!   fragment's *home node* ([`allocation::NodePlacement::home_node`]), a
+//!   dry worker first steals within its own node, and only then migrates
+//!   work across the interconnect — the first cross-node pull of a fragment
+//!   ships a replica to the thief's node (a wall-clock charge and a
+//!   [`WorkerMetrics::fragments_replicated`] count; later migrations of the
+//!   same fragment hit the replica).  Migration is a scheduling outcome:
+//!   the simulated clocks, traces and results are untouched by it, so
+//!   multi-node runs stay bit-identical to single-node runs,
 //! * the run reports [`ThroughputMetrics`]: queries/sec, the per-query
 //!   latency distribution, worker utilisation, steal counts, the
 //!   disk-affinity hit rate and — with the I/O layer on — per-disk
 //!   utilisation, queue depth and cache statistics.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use allocation::{NodePlacement, NodeStrategy};
 use obs::{us_from_ms, EventKind, FieldKey, ObsConfig, Trace, TraceRecorder, Track};
 use workload::{BoundQuery, QueryStream};
 
@@ -219,6 +232,10 @@ struct Control {
     /// Rotating worker cursor so consecutive small queries start on
     /// different workers instead of all piling onto worker 0.
     seed_cursor: usize,
+    /// One rotating cursor per simulated node (empty in single-node runs):
+    /// node-homed tasks are dealt round-robin over their home node's worker
+    /// range, so a node's workers share its load evenly.
+    node_cursors: Vec<usize>,
     /// Admissions so far — the logical admission clock trace events are
     /// stamped with when no simulated disk clock exists.  Advanced under
     /// this lock, in FIFO admission order, so its readings are
@@ -241,7 +258,57 @@ struct Shared {
     io: Option<SimulatedIo>,
     /// The run's event sink when tracing is enabled.
     obs: Option<TraceRecorder>,
+    /// The shared-nothing node topology when the I/O layer simulates more
+    /// than one node; `None` runs the classic single-node pool.
+    nodes: Option<NodeTopology>,
     started: Instant,
+}
+
+/// The pool's node layout under a shared-nothing multi-node I/O subsystem:
+/// which workers belong to which simulated node, which node is a
+/// fragment's home, and which fragments each node has pulled a replica of.
+struct NodeTopology {
+    placement: NodePlacement,
+    /// Pool size the worker ranges partition.
+    workers: usize,
+    /// Per-node replicated-fragment sets: a migrated task's first execution
+    /// on a foreign node ships the fragment there (a wall-clock charge);
+    /// later migrations of the same fragment hit the replica for free.
+    replicas: Vec<Mutex<BTreeSet<u64>>>,
+}
+
+impl NodeTopology {
+    fn new(placement: NodePlacement, workers: usize) -> Self {
+        NodeTopology {
+            placement,
+            workers,
+            replicas: (0..placement.nodes()).map(|_| Mutex::default()).collect(),
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        self.placement.nodes() as usize
+    }
+
+    /// The node owning `worker`: contiguous ranges, consistent with
+    /// [`NodeTopology::worker_range`].
+    fn node_of_worker(&self, worker: usize) -> usize {
+        worker * self.node_count() / self.workers
+    }
+
+    /// The half-open worker range `lo..hi` owned by `node` (empty when the
+    /// pool has fewer workers than nodes).
+    fn worker_range(&self, node: usize) -> (usize, usize) {
+        let nodes = self.node_count();
+        (
+            (node * self.workers).div_ceil(nodes),
+            ((node + 1) * self.workers).div_ceil(nodes),
+        )
+    }
+
+    fn home_node(&self, fragment: u64) -> usize {
+        self.placement.home_node(fragment) as usize
+    }
 }
 
 impl Shared {
@@ -383,7 +450,25 @@ impl Shared {
             }
             let steal_by_io = self.io.as_ref().is_some_and(|io| io.config().steal_by_io);
             for (position, &task) in prepared.seed_order.iter().enumerate() {
-                let home = (first + position * workers / tasks) % workers;
+                // Shared-nothing multi-node pools deal each task to a worker
+                // on its fragment's home node (round-robin within the node's
+                // range); otherwise — and when a node owns no workers — the
+                // balanced contiguous chunking above applies.
+                let home = match &self.nodes {
+                    Some(topology) => {
+                        let node = topology.home_node(prepared.fragments[task]);
+                        let (lo, hi) = topology.worker_range(node);
+                        if hi > lo {
+                            let cursor = &mut control.node_cursors[node];
+                            let worker = lo + *cursor % (hi - lo);
+                            *cursor += 1;
+                            worker
+                        } else {
+                            (first + position * workers / tasks) % workers
+                        }
+                    }
+                    None => (first + position * workers / tasks) % workers,
+                };
                 let charge = charges.as_ref().map(|c| c[task]);
                 let cost = match charge {
                     Some(c) if steal_by_io => c.cost_units(),
@@ -496,35 +581,66 @@ fn worker_loop(shared: &Shared, engine: &StarJoinEngine, worker: usize) -> Worke
     // This worker's position on its own simulated timeline (see the engine's
     // `run_worker`): thread-attributed trace events are stamped from it.
     let mut sim_cursor_ms = 0.0f64;
+    // This worker's node and its node's worker range under a shared-nothing
+    // multi-node topology: steal node-locally before migrating across.
+    let my_node = shared.nodes.as_ref().map(|t| t.node_of_worker(worker));
     loop {
-        let (task, stolen_from) = match shared.deques.pop_own(worker) {
-            Some(task) => (task, None),
-            None => match shared.deques.steal(worker) {
-                Some((task, victim)) => (task, Some(victim)),
-                None => {
-                    let mut control = shared.lock_control();
-                    if control.unfinished == 0 {
-                        break;
-                    }
-                    // Tasks are only pushed under the control lock, so an
-                    // empty deque set observed *while holding it* cannot race
-                    // a push: wait for the next deposit/admission signal.
-                    if shared.deques.total_len() == 0 {
-                        control = shared
-                            .work
-                            .wait(control)
-                            .expect("scheduler control lock poisoned");
-                    }
-                    drop(control);
-                    continue;
-                }
-            },
+        let claimed = shared
+            .deques
+            .pop_own(worker)
+            .map(|task| (task, None))
+            .or_else(|| {
+                shared
+                    .nodes
+                    .as_ref()
+                    .zip(my_node)
+                    .and_then(|(topology, node)| {
+                        let (lo, hi) = topology.worker_range(node);
+                        shared.deques.steal_within(worker, lo, hi)
+                    })
+                    .or_else(|| shared.deques.steal(worker))
+                    .map(|(task, victim)| (task, Some(victim)))
+            });
+        let Some((task, stolen_from)) = claimed else {
+            let mut control = shared.lock_control();
+            if control.unfinished == 0 {
+                break;
+            }
+            // Tasks are only pushed under the control lock, so an
+            // empty deque set observed *while holding it* cannot race
+            // a push: wait for the next deposit/admission signal.
+            if shared.deques.total_len() == 0 {
+                control = shared
+                    .work
+                    .wait(control)
+                    .expect("scheduler control lock poisoned");
+            }
+            drop(control);
+            continue;
         };
         // detlint: allow(wall-clock, reason = "per-task busy-time metrics; never part of query results")
         let task_started = Instant::now();
         let stolen = stolen_from.is_some();
         throttle_for(task.sim_ms, wall_ns_per_sim_ms);
         metrics.sim_io_ms += task.sim_ms;
+        if let (Some(topology), Some(node)) = (&shared.nodes, my_node) {
+            if topology.home_node(task.fragment) != node {
+                // Executing off the fragment's home node: inter-node
+                // migration.  The first pull ships a replica to this node —
+                // a wall-clock charge only; the simulated clocks, traces
+                // and results never see migration (it is a scheduling
+                // outcome, and charging it would break the deterministic
+                // admission-order replay).
+                metrics.tasks_migrated += 1;
+                let replicated = topology.replicas[node]
+                    .plock("node replica set")
+                    .insert(task.fragment);
+                if replicated {
+                    metrics.fragments_replicated += 1;
+                    throttle_for(task.sim_ms, wall_ns_per_sim_ms);
+                }
+            }
+        }
         let fragment = source.fetch(task.fragment);
         let (partial, compressed) =
             process_fragment(&fragment, &task.bindings, source.measure_count(), task.task);
@@ -663,6 +779,14 @@ impl<'e> QueryScheduler<'e> {
                 );
             }
         }
+        // The shared-nothing node topology, when the I/O layer simulates
+        // more than one node.  Shared-disk multi-node subsystems keep the
+        // single-node pool: every node reads every disk at equal cost, so
+        // there is no home-node locality to preserve.
+        let nodes = self.config.exec.io.and_then(|io_config| {
+            (io_config.nodes > 1 && io_config.node_strategy == NodeStrategy::SharedNothing)
+                .then(|| NodeTopology::new(io_config.node_placement(), workers))
+        });
         let shared = Shared {
             deques: StealDeques::new(workers),
             control: Mutex::new(Control {
@@ -673,6 +797,7 @@ impl<'e> QueryScheduler<'e> {
                 unfinished: query_count,
                 results: (0..query_count).map(|_| None).collect(),
                 seed_cursor: 0,
+                node_cursors: vec![0; nodes.as_ref().map_or(0, NodeTopology::node_count)],
                 admit_seq: 0,
             }),
             work: Condvar::new(),
@@ -685,6 +810,7 @@ impl<'e> QueryScheduler<'e> {
                 .io
                 .map(|io_config| SimulatedIo::new(io_config, source.schema())),
             obs: recorder,
+            nodes,
             started,
         };
 
@@ -930,6 +1056,93 @@ mod tests {
     }
 
     #[test]
+    fn multi_node_results_are_bit_identical_across_node_counts() {
+        let engine = engine();
+        let queries = stream(&engine, 10);
+        let reference = engine.execute_stream(
+            &queries,
+            &SchedulerConfig::new(4, 4).with_io(crate::io::IoConfig::with_disks(8).cache(20_000)),
+        );
+        for nodes in [1u64, 2, 4, 8] {
+            for strategy in [NodeStrategy::SharedNothing, NodeStrategy::SharedDisk] {
+                let io = crate::io::IoConfig {
+                    nodes,
+                    node_strategy: strategy,
+                    ..crate::io::IoConfig::with_disks(8).cache(20_000)
+                };
+                let outcome =
+                    engine.execute_stream(&queries, &SchedulerConfig::new(4, 4).with_io(io));
+                for (a, b) in reference.queries.iter().zip(&outcome.queries) {
+                    assert_eq!(a.hits, b.hits, "{nodes} nodes, {strategy:?}");
+                    let a_bits: Vec<u64> = a.measure_sums.iter().map(|s| s.to_bits()).collect();
+                    let b_bits: Vec<u64> = b.measure_sums.iter().map(|s| s.to_bits()).collect();
+                    assert_eq!(a_bits, b_bits, "{nodes} nodes, {strategy:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_nothing_stream_attributes_nodes_deterministically() {
+        let engine = engine();
+        let queries = stream(&engine, 10);
+        let io = crate::io::IoConfig {
+            nodes: 4,
+            node_strategy: NodeStrategy::SharedNothing,
+            ..crate::io::IoConfig::with_disks(8).cache(50_000)
+        };
+        let outcome = engine.execute_stream(&queries, &SchedulerConfig::new(4, 4).with_io(io));
+        let io_metrics = outcome.metrics.pool.io.as_ref().expect("I/O metrics");
+        assert_eq!(io_metrics.node_count(), 4);
+        // Staggered bitmap placement crosses node boundaries, so a
+        // shared-nothing run must have paid the interconnect.
+        assert!(io_metrics.total_net_pages() > 0);
+        assert!(io_metrics.total_net_ms() > 0.0);
+        assert!(io_metrics.node_imbalance() >= 1.0);
+        // I/O is charged at admission in admission order: per-node
+        // attribution is identical for any worker count and MPL.
+        let again = engine.execute_stream(&queries, &SchedulerConfig::new(2, 8).with_io(io));
+        assert_eq!(again.metrics.pool.io, outcome.metrics.pool.io);
+        // The shared-disk twin never touches the interconnect.
+        let shared_disk = crate::io::IoConfig {
+            node_strategy: NodeStrategy::SharedDisk,
+            ..io
+        };
+        let disk_outcome =
+            engine.execute_stream(&queries, &SchedulerConfig::new(4, 4).with_io(shared_disk));
+        let disk_metrics = disk_outcome.metrics.pool.io.as_ref().expect("I/O metrics");
+        assert_eq!(disk_metrics.total_net_pages(), 0);
+    }
+
+    #[test]
+    fn migration_counters_track_off_home_execution() {
+        let engine = engine();
+        let queries = stream(&engine, 8);
+        // One worker on a two-node subsystem: node 1 owns no workers, so
+        // every task homed there executes on node 0 — each counted as a
+        // migration, each distinct fragment replicated exactly once.
+        let io = crate::io::IoConfig {
+            nodes: 2,
+            node_strategy: NodeStrategy::SharedNothing,
+            ..crate::io::IoConfig::with_disks(4)
+        };
+        let outcome = engine.execute_stream(&queries, &SchedulerConfig::new(1, 2).with_io(io));
+        let pool = &outcome.metrics.pool;
+        assert_eq!(pool.worker_count(), 1);
+        assert!(pool.total_migrated() > 0, "node-1 tasks must have migrated");
+        assert!(pool.total_replicated() > 0);
+        assert!(pool.total_replicated() <= pool.total_migrated());
+        assert!(outcome.metrics.migration_rate() > 0.0);
+        // A single-node run of the same stream migrates nothing.
+        let single = engine.execute_stream(
+            &queries,
+            &SchedulerConfig::new(1, 2).with_io(crate::io::IoConfig::with_disks(4)),
+        );
+        assert_eq!(single.metrics.pool.total_migrated(), 0);
+        assert_eq!(single.metrics.pool.total_replicated(), 0);
+    }
+
+    #[test]
     fn config_constructors() {
         let config = SchedulerConfig::new(4, 0);
         assert_eq!(config.mpl(), 1);
@@ -1026,6 +1239,59 @@ mod prop_tests {
                     let baseline_bits: Vec<u64> =
                         baseline.measure_sums.iter().map(|s| s.to_bits()).collect();
                     prop_assert_eq!(scheduled_bits, baseline_bits);
+                }
+            }
+        }
+
+        /// For random streams, node counts {2, 8} and both node strategies,
+        /// the multi-node scheduler's per-query results are bit-identical
+        /// to the single-node run of the same stream — node topology moves
+        /// work and I/O attribution, never result bits.
+        #[test]
+        fn prop_multi_node_results_match_single_node(
+            type_seeds in proptest::collection::vec(0usize..5, 1..6),
+            raw_values in proptest::collection::vec(0u64..100_000, 16),
+            seed in 1u64..1_000,
+            shared_nothing in proptest::bool::ANY,
+            workers in 1usize..5,
+        ) {
+            let schema = tiny_schema();
+            let fragmentation =
+                Fragmentation::parse(&schema, &["time::month", "product::group"]).unwrap();
+            let store = FragmentStore::build(&schema, &fragmentation, seed);
+            let engine = StarJoinEngine::new(store);
+
+            let mut raw = raw_values.iter().cycle();
+            let queries: Vec<BoundQuery> = type_seeds
+                .iter()
+                .map(|&type_idx| {
+                    let shape = QueryType::standard_mix()[type_idx].to_star_query(&schema);
+                    let values: Vec<u64> = shape
+                        .predicates()
+                        .iter()
+                        .map(|p| raw.next().unwrap() % p.attr.cardinality(&schema))
+                        .collect();
+                    BoundQuery::new(&schema, shape, values)
+                })
+                .collect();
+
+            let strategy = if shared_nothing {
+                NodeStrategy::SharedNothing
+            } else {
+                NodeStrategy::SharedDisk
+            };
+            let flat = crate::io::IoConfig::with_disks(8).cache(4_096);
+            let baseline =
+                engine.execute_stream(&queries, &SchedulerConfig::new(workers, 2).with_io(flat));
+            for nodes in [2u64, 8] {
+                let io = crate::io::IoConfig { nodes, node_strategy: strategy, ..flat };
+                let outcome =
+                    engine.execute_stream(&queries, &SchedulerConfig::new(workers, 2).with_io(io));
+                for (a, b) in baseline.queries.iter().zip(&outcome.queries) {
+                    prop_assert_eq!(a.hits, b.hits);
+                    let a_bits: Vec<u64> = a.measure_sums.iter().map(|s| s.to_bits()).collect();
+                    let b_bits: Vec<u64> = b.measure_sums.iter().map(|s| s.to_bits()).collect();
+                    prop_assert_eq!(a_bits, b_bits);
                 }
             }
         }

@@ -8,16 +8,18 @@
 use crate::histogram::Histogram;
 use crate::trace::{EventKind, Trace, TraceEvent, Track};
 
-/// The Chrome `trace_event` process ids the three track families map to.
+/// The Chrome `trace_event` process ids the four track families map to.
 const PID_QUERIES: u32 = 1;
 const PID_WORKERS: u32 = 2;
 const PID_DISKS: u32 = 3;
+const PID_NODES: u32 = 4;
 
 fn track_ids(track: Track) -> (u32, u32, &'static str) {
     match track {
         Track::Query(id) => (PID_QUERIES, id, "query"),
         Track::Worker(id) => (PID_WORKERS, id, "worker"),
         Track::Disk(id) => (PID_DISKS, id, "disk"),
+        Track::Node(id) => (PID_NODES, id, "node"),
     }
 }
 
@@ -26,7 +28,11 @@ fn track_ids(track: Track) -> (u32, u32, &'static str) {
 fn is_span(kind: EventKind) -> bool {
     matches!(
         kind,
-        EventKind::Query | EventKind::Scan | EventKind::DiskService | EventKind::TaskRun
+        EventKind::Query
+            | EventKind::Scan
+            | EventKind::DiskService
+            | EventKind::NetTransfer
+            | EventKind::TaskRun
     )
 }
 
@@ -99,6 +105,7 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
         (PID_QUERIES, "queries"),
         (PID_WORKERS, "workers"),
         (PID_DISKS, "disks"),
+        (PID_NODES, "nodes"),
     ] {
         sep(&mut out, &mut first);
         push_metadata(&mut out, "process_name", pid, None, name);
@@ -321,6 +328,13 @@ mod tests {
             vec![(FieldKey::Task, 0)],
         );
         recorder.record(Track::Disk(2), EventKind::DiskService, 3, 2, vec![]);
+        recorder.record(
+            Track::Node(1),
+            EventKind::NetTransfer,
+            4,
+            3,
+            vec![(FieldKey::Pages, 6)],
+        );
         recorder.into_trace()
     }
 
@@ -337,6 +351,10 @@ mod tests {
             "\"query 0\"",
             "\"worker 1\"",
             "\"disk 2\"",
+            "\"nodes\"",
+            "\"node 1\"",
+            "\"name\":\"net_transfer\"",
+            "\"pages\":6",
             "\"name\":\"scan\"",
             "\"ph\":\"X\"",
             "\"ph\":\"i\"",

@@ -33,8 +33,32 @@
 //! The crate is dependency-free and knows nothing about the executor; the
 //! `exec` crate records into it behind an [`ObsConfig`] that costs nothing
 //! when disabled.
+//!
+//! # Quick start
+//!
+//! ```
+//! use obs::{EventKind, FieldKey, Track, TraceRecorder};
+//!
+//! let recorder = TraceRecorder::new(64);
+//! recorder.record(Track::Query(0), EventKind::QuerySubmit, 0, 0, vec![]);
+//! recorder.record(
+//!     Track::Query(0),
+//!     EventKind::Scan,
+//!     10,
+//!     450,
+//!     vec![(FieldKey::Fragment, 7), (FieldKey::Pages, 8)],
+//! );
+//!
+//! let trace = recorder.into_trace();
+//! assert_eq!(trace.count_of(EventKind::Scan), 1);
+//! assert_eq!(trace.sum_field(EventKind::Scan, FieldKey::Pages), 8);
+//! // Both events are in the deterministic section: simulated timestamps
+//! // only, so this digest is bit-identical on every run.
+//! assert_eq!(trace.deterministic_events().len(), 2);
+//! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod clock;
 pub mod export;

@@ -17,6 +17,20 @@
 //!   1 866 240 000 fact rows),
 //! * [`size`] — page/tuple/bitmap sizing helpers shared by the cost model and
 //!   the simulator.
+//!
+//! # Quick start
+//!
+//! ```
+//! // The paper's APB-1 configuration: 1.87 billion fact rows over four
+//! // dimensions.
+//! let schema = schema::apb1::apb1_schema();
+//! assert_eq!(schema.fact_row_count(), 1_866_240_000);
+//! assert_eq!(schema.dimension_count(), 4);
+//!
+//! // `dimension::level` attribute references, as written in the paper.
+//! let group = schema.attr("product", "group").unwrap();
+//! assert_eq!(group.cardinality(&schema), 480);
+//! ```
 
 #![forbid(unsafe_code)]
 

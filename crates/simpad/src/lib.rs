@@ -24,6 +24,24 @@
 //! The top-level entry point is [`runner::run_experiment`], which executes a
 //! number of query instances of one type and reports response-time and
 //! utilisation statistics — the quantities plotted in Figures 3–6.
+//!
+//! # Quick start
+//!
+//! ```
+//! use simpad::{run_experiment, ExperimentSetup, SimConfig};
+//! use workload::QueryType;
+//!
+//! let schema = schema::apb1::apb1_scaled_down();
+//! let fragmentation =
+//!     mdhf::Fragmentation::parse(&schema, &["time::month"]).unwrap();
+//! let config = SimConfig { disks: 8, nodes: 2, ..SimConfig::default() };
+//! let setup =
+//!     ExperimentSetup::new(schema, fragmentation, config, QueryType::OneMonth, 2);
+//!
+//! let summary = run_experiment(&setup);
+//! assert_eq!(summary.queries.len(), 2);
+//! assert!(summary.mean_response_ms > 0.0);
+//! ```
 
 #![forbid(unsafe_code)]
 

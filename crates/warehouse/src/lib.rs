@@ -41,6 +41,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod session;
 
@@ -62,16 +63,18 @@ pub mod prelude {
     pub use crate::session::{
         AdmissionPolicy, Error as WarehouseError, Session, SessionBuilder, Warehouse,
     };
-    pub use allocation::{BitmapPlacement, PhysicalAllocation};
+    pub use allocation::{
+        node_load_shares, BitmapPlacement, NodePlacement, NodeStrategy, PhysicalAllocation,
+    };
     pub use bitmap::{
         Bitmap, BitmapRepr, HierarchicalEncoding, IndexCatalog, ReprStats, RepresentationPolicy,
         RoaringBitmap, WahBitmap,
     };
     pub use exec::{
         DiskIoStats, ExecConfig, ExecMetrics, FileIoMetrics, FileStore, FileStoreOptions,
-        FragmentStore, IoConfig, IoMetrics, ObsConfig, QueryPlan, QueryResult, QueryScheduler,
-        ScanSource, ScheduledQuery, SchedulerConfig, SimulatedIo, StarJoinEngine, StreamOutcome,
-        ThroughputMetrics,
+        FragmentStore, IoConfig, IoMetrics, NodeIoStats, ObsConfig, QueryPlan, QueryResult,
+        QueryScheduler, ScanSource, ScheduledQuery, SchedulerConfig, SimulatedIo, StarJoinEngine,
+        StreamOutcome, ThroughputMetrics,
     };
     pub use mdhf::{
         classify, Advisor, AdvisorConfig, CostModel, Fragmentation, IoClass, QueryClass, StarQuery,

@@ -30,7 +30,7 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-use allocation::PhysicalAllocation;
+use allocation::{NodePlacement, PhysicalAllocation};
 use bitmap::ReprDecodeError;
 use exec::{
     write_store, ExecConfig, FileStore, FileStoreOptions, FragmentStore, IoConfig, QueryPlan,
@@ -41,6 +41,21 @@ use workload::BoundQuery;
 
 /// Everything that can go wrong opening, reading or configuring a
 /// warehouse.
+///
+/// Structural damage surfaces as a typed [`Error::Corrupt`] before any
+/// query runs:
+///
+/// ```
+/// use warehouse::{Error, Warehouse};
+///
+/// let path = std::env::temp_dir().join(format!("doc_corrupt_{}.fgmt", std::process::id()));
+/// std::fs::write(&path, b"not an FGMT fragment file").unwrap();
+/// match Warehouse::open(&path) {
+///     Err(Error::Corrupt(what)) => assert!(!what.is_empty()),
+///     other => panic!("expected a corruption error, got {other:?}"),
+/// }
+/// # std::fs::remove_file(&path).unwrap();
+/// ```
 #[derive(Debug)]
 pub enum Error {
     /// The underlying file operation failed.
@@ -129,6 +144,27 @@ impl Warehouse {
     /// [`Warehouse::save`] (or [`exec::write_store`]).  The whole file
     /// structure — magic, version, checksums, page directory — is verified
     /// before any query runs.
+    ///
+    /// ```
+    /// use warehouse::prelude::*;
+    ///
+    /// let schema = schema::apb1::apb1_scaled_down();
+    /// let fragmentation = Fragmentation::parse(&schema, &["time::month"]).unwrap();
+    /// let path = std::env::temp_dir().join(format!("doc_open_{}.fgmt", std::process::id()));
+    /// Warehouse::in_memory(FragmentStore::build(&schema, &fragmentation, 7))
+    ///     .save(&path)
+    ///     .unwrap();
+    ///
+    /// let warehouse = Warehouse::open(&path).unwrap();
+    /// let query = QueryType::OneMonth.to_star_query(&schema);
+    /// let bound = BoundQuery::new(&schema, query, vec![2]);
+    /// let session = warehouse.session().workers(2).build();
+    /// let result = session.execute(&bound);
+    /// let serial = warehouse.session().build().execute(&bound);
+    /// assert_eq!(result.hits, serial.hits);
+    /// assert_eq!(result.measure_sums, serial.measure_sums); // bit-identical
+    /// # std::fs::remove_file(&path).unwrap();
+    /// ```
     ///
     /// # Errors
     ///
@@ -247,6 +283,31 @@ impl<'a> SessionBuilder<'a> {
     #[must_use]
     pub fn io(mut self, io: IoConfig) -> Self {
         self.io = Some(io);
+        self
+    }
+
+    /// Spreads the session over `placement`'s simulated nodes: fragment
+    /// scans are charged against the placement's node-owned disks (each
+    /// node with its own page cache; shared-nothing cross-node reads pay
+    /// the simulated interconnect), the stream scheduler deals tasks to
+    /// their home node's workers, and worker queues are seeded in the
+    /// placement's disk-affinity order.  Results stay bit-identical to the
+    /// single-node session for every node count and strategy.
+    ///
+    /// Replaces the allocation and node fields of any previously set
+    /// [`SessionBuilder::io`] configuration, keeping its other knobs.
+    #[must_use]
+    pub fn nodes(mut self, placement: NodePlacement) -> Self {
+        self.placement = Some(*placement.allocation());
+        self.io = Some(match self.io {
+            Some(io) => IoConfig {
+                allocation: *placement.allocation(),
+                nodes: placement.nodes(),
+                node_strategy: placement.strategy(),
+                ..io
+            },
+            None => IoConfig::with_nodes(placement),
+        });
         self
     }
 
@@ -418,6 +479,41 @@ mod tests {
             assert_eq!(scheduled.hits, serial.hits);
             assert_eq!(scheduled.measure_sums, serial.measure_sums);
         }
+    }
+
+    #[test]
+    fn multi_node_sessions_stay_bit_identical_and_attribute_nodes() {
+        let (schema, store) = store();
+        let warehouse = Warehouse::in_memory(store);
+        let bound = BoundQuery::new(
+            &schema,
+            QueryType::OneStore.to_star_query(&schema),
+            vec![7u64],
+        );
+        let serial = warehouse.session().build().execute(&bound);
+        for nodes in [2u64, 4] {
+            let placement = NodePlacement::new(nodes, 2, allocation::NodeStrategy::SharedNothing);
+            let session = warehouse.session().workers(4).nodes(placement).build();
+            assert_eq!(session.config().io.map(|io| io.nodes), Some(nodes));
+            let result = session.execute(&bound);
+            assert_eq!(result.hits, serial.hits);
+            assert_eq!(result.measure_sums, serial.measure_sums);
+            let io = result.metrics.io.expect("node I/O metrics");
+            assert_eq!(io.node_count(), nodes as usize);
+            assert!(io.total_net_pages() > 0, "{nodes}-node run crossed nodes");
+        }
+        // The nodes knob keeps a previously set I/O configuration's other
+        // fields (cache size) while replacing its allocation and topology.
+        let placement = NodePlacement::new(2, 3, allocation::NodeStrategy::SharedDisk);
+        let session = warehouse
+            .session()
+            .io(IoConfig::with_disks(4).cache(9_999))
+            .nodes(placement)
+            .build();
+        let io = session.config().io.expect("io configured");
+        assert_eq!(io.cache_pages, 9_999);
+        assert_eq!(io.nodes, 2);
+        assert_eq!(io.disks(), 6);
     }
 
     #[test]

@@ -19,6 +19,21 @@
 //!   both attribute-value-skewed query streams
 //!   ([`QueryGenerator::with_value_skew`]) and selectivity-skewed fact
 //!   tables (`exec::FragmentStore::build_skewed`).
+//!
+//! # Quick start
+//!
+//! ```
+//! use workload::{QueryGenerator, QueryType};
+//!
+//! let schema = schema::apb1::apb1_scaled_down();
+//! let mut generator = QueryGenerator::new(&schema, QueryType::OneMonthOneGroup, 7);
+//! let query = generator.next_instance();
+//! assert_eq!(query.values().len(), 2); // one month, one group — both bound
+//!
+//! // Generation is reproducible: the same seed yields the same instances.
+//! let mut twin = QueryGenerator::new(&schema, QueryType::OneMonthOneGroup, 7);
+//! assert_eq!(query.values(), twin.next_instance().values());
+//! ```
 
 #![forbid(unsafe_code)]
 
